@@ -1,0 +1,46 @@
+"""Extra: interconnect coverage, SOCET vs the test-bus architecture.
+
+The paper's introduction argues the test bus "is unable to test the
+interconnect that exists between cores"; SOCET's vectors travel through
+the functional wiring and cover it for free.  This bench quantifies
+that claim on both systems.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.flow import bus_interconnect_report, interconnect_report
+from repro.soc import plan_soc_test
+from repro.util import render_table
+
+
+def reports(system1, system2):
+    rows = []
+    for soc in (system1, system2):
+        plan = plan_soc_test(soc)
+        socet = interconnect_report(plan)
+        bus = bus_interconnect_report(soc)
+        rows.append((soc.name, socet, bus))
+    return rows
+
+
+def test_interconnect_coverage(benchmark, system1, system2, results_dir):
+    data = benchmark.pedantic(reports, args=(system1, system2), rounds=3, iterations=1)
+
+    rows = []
+    for name, socet, bus in data:
+        rows.append(
+            [name, socet.logic_bits, f"{socet.coverage_percent:.1f}",
+             f"{bus.coverage_percent:.1f}", socet.memory_bits]
+        )
+        assert socet.coverage_percent > 80.0
+        assert bus.coverage_percent == 0.0
+
+    text = render_table(
+        ["system", "logic interconnect bits", "SOCET coverage %",
+         "test-bus coverage %", "memory-side bits (BIST domain)"],
+        rows,
+        title="Interconnect testing: SOCET vs test bus",
+    )
+    write_result(results_dir, "interconnect", text)

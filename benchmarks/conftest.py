@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+System builds (which include per-core HSCAN insertion and transparency
+version synthesis) are cached per session; each bench writes the table
+it reproduces to ``benchmarks/results/<bench>.txt`` so the numbers are
+inspectable alongside the timing output.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def system1():
+    from repro.designs import build_system1
+
+    return build_system1()
+
+
+@pytest.fixture(scope="session")
+def system1_paper_vectors():
+    """System 1 with the paper's DISPLAY test-set size (105 vectors).
+
+    Used by the Section 3 worked example, whose published cycle counts
+    (525 x 9 + 3 = 4,728 etc.) assume 105 combinational vectors.
+    """
+    from repro.designs import build_system1
+
+    return build_system1(test_vectors={"DISPLAY": 105})
+
+
+@pytest.fixture(scope="session")
+def system2():
+    from repro.designs import build_system2
+
+    return build_system2()
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,60 @@
+"""The paper's headline flow on System 1 (the barcode scanner SOC).
+
+Sweeps the full design space (Figure 10), shows the three Table 1
+characteristic points, and runs both optimizer objectives:
+
+  (i)  minimize test time within an area budget, and
+  (ii) minimize area within a test-time budget.
+
+Run:  python examples/barcode_tradeoff.py
+"""
+
+from repro.designs import build_system1
+from repro.soc import design_space, plan_soc_test
+from repro.soc.optimizer import SocetOptimizer
+from repro.util import render_table
+
+
+def main():
+    soc = build_system1()
+    print(f"{soc.name}: cores = {sorted(soc.cores)}")
+
+    # ---------------- Figure 10: the design space ----------------
+    points = design_space(soc)
+    rows = [[p.index, p.chip_cells, p.tat, p.label()] for p in points]
+    print()
+    print(render_table(["pt", "chip cells", "TAT", "versions"], rows,
+                       title=f"design space ({len(points)} points)"))
+
+    min_area = points[0]
+    min_tat = min(points, key=lambda p: (p.tat, p.chip_cells))
+    print(f"\nmin-area point:  {min_area.chip_cells} cells @ {min_area.tat} cycles")
+    print(f"min-TAT point:   {min_tat.chip_cells} cells @ {min_tat.tat} cycles "
+          f"({min_tat.label()})")
+    print(f"TAT reduction:   {min_area.tat / min_tat.tat:.2f}x "
+          f"for {min_tat.chip_cells - min_area.chip_cells} extra cells")
+
+    # ---------------- objective (i): area budget ----------------
+    optimizer = SocetOptimizer(soc)
+    budget = min_area.chip_cells + 30
+    plan_i, trajectory = optimizer.minimize_tat(budget)
+    print(f"\nobjective (i): best TAT within {budget} cells")
+    for step in trajectory:
+        print(f"  step {step.index}: {step.chip_cells} cells, {step.tat} cycles   {step.label()}")
+
+    # ---------------- objective (ii): TAT budget ----------------
+    target = int(min_area.tat * 0.6)
+    plan_ii, trajectory_ii = optimizer.minimize_area(target)
+    print(f"\nobjective (ii): least area meeting {target} cycles")
+    for step in trajectory_ii:
+        print(f"  step {step.index}: {step.chip_cells} cells, {step.tat} cycles   {step.label()}")
+
+    # ---------------- what the test muxes ended up on ----------------
+    plan = plan_soc_test(soc)
+    print("\nsystem-level test muxes of the minimum-area plan:")
+    for mux in plan.test_muxes:
+        print(f"  {mux}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Full SOCET vs FSCAN-BSCAN comparison on System 2 (Tables 2 and 3).
+
+Reproduces, for the graphics + GCD + X.25 system, the paper's two
+comparison tables: the area-overhead breakdown and the testability
+(fault coverage / test efficiency / test time) rows.
+
+Run:  python examples/system2_report.py          (takes ~a minute)
+"""
+
+from repro.designs import build_system2
+from repro.flow import (
+    evaluate_system,
+    render_area_table,
+    render_testability_table,
+    run_socet,
+)
+from repro.bist import plan_memory_bist
+
+
+def main():
+    soc = build_system2()
+    print(f"{soc.name}: cores = {sorted(soc.cores)}")
+    for core in soc.testable_cores():
+        versions = ", ".join(f"{v.name}@{v.extra_cells}c" for v in core.versions)
+        print(f"  {core.name}: {core.flip_flops} FFs, {core.test_vectors} vectors, "
+              f"scan depth {core.scan_depth}; versions: {versions}")
+
+    # ---------------- Table 2: area overheads ----------------
+    run = run_socet(soc)
+    print()
+    print(render_area_table(run.area_rows()))
+    print(f"\nFSCAN-BSCAN baseline: {run.baseline.total_tat} cycles, "
+          f"{run.baseline.total_cells} DFT cells")
+    print(f"SOCET min-area:       {run.min_area_plan.total_tat} cycles, "
+          f"{run.min_area_plan.chip_dft_cells} chip-level DFT cells")
+    print(f"SOCET min-TApp:       {run.min_tat_plan.total_tat} cycles, "
+          f"{run.min_tat_plan.chip_dft_cells} chip-level DFT cells")
+
+    # ---------------- Table 3: testability ----------------
+    evaluation = evaluate_system(soc, sequences=16, sequence_length=12, fault_sample=120)
+    print()
+    print(render_testability_table(evaluation.rows))
+
+    # ---------------- memory BIST (none in System 2) ----------------
+    bist = plan_memory_bist(soc)
+    if bist.rows:
+        for row in bist.rows:
+            print(f"BIST {row.core}: {row.march}, {row.cycles} cycles")
+    else:
+        print("\n(no memory cores; BIST not required)")
+
+
+if __name__ == "__main__":
+    main()

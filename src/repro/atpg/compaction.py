@@ -1,0 +1,38 @@
+"""Static test-set compaction.
+
+Reverse-order greedy pass: fault-simulate the patterns in reverse and
+keep only the ones credited with a first detection.  Patterns generated
+late (by PODEM, highly specific) tend to cover the easy faults of early
+random patterns, so reverse order discards many of the early ones --
+the classic "reverse order fault simulation" compaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.faults.model import Fault
+from repro.faults.simulator import FaultSimulator
+from repro.gates.netlist import GateNetlist
+
+Pattern = Dict[str, int]
+
+
+def compact_patterns(
+    netlist: GateNetlist,
+    patterns: Sequence[Pattern],
+    faults: Sequence[Fault],
+) -> List[Pattern]:
+    """Drop patterns that detect nothing first in reverse simulation order.
+
+    The returned list preserves the original relative order of the kept
+    patterns.
+    """
+    if not patterns:
+        return []
+    simulator = FaultSimulator(netlist)
+    reversed_patterns = list(reversed(patterns))
+    result = simulator.run(reversed_patterns, faults)
+    credited = {result.first_detection[f] for f in result.detected}
+    keep_original_indices = sorted(len(patterns) - 1 - i for i in credited)
+    return [patterns[i] for i in keep_original_indices]

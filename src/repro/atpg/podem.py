@@ -1,0 +1,376 @@
+"""PODEM (Path-Oriented DEcision Making) combinational test generation.
+
+Implements the classic algorithm: pick an objective (activate the fault,
+then propagate a D to an observation point), backtrace the objective to a
+primary-input assignment, imply, and backtrack on conflicts.  The engine
+works on the *combinational view* of a gate netlist -- flip-flop outputs
+are assignable pseudo-primary inputs and flip-flop D pins are observed,
+which is exactly the situation full-scan/HSCAN cores present.
+
+A fault proven untestable by exhausting the decision tree is *redundant*;
+hitting the backtrack limit *aborts*.  Both outcomes feed the paper's
+test-efficiency metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AtpgError
+from repro.atpg.values import CONTROLLING, ONE, X, ZERO, eval_gate3, v_not
+from repro.faults.model import Fault
+from repro.gates.cells import GateKind
+from repro.gates.levelize import levelize
+from repro.gates.netlist import Gate, GateNetlist
+
+_STATE_KINDS = (GateKind.DFF, GateKind.SDFF)
+_SOURCE_KINDS = (GateKind.INPUT,) + _STATE_KINDS
+
+
+class PodemStatus(enum.Enum):
+    DETECTED = "detected"
+    REDUNDANT = "redundant"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    status: PodemStatus
+    #: source assignment achieving detection (only for DETECTED);
+    #: unassigned sources are free and may take any value
+    assignment: Dict[str, int] = field(default_factory=dict)
+    backtracks: int = 0
+
+
+def podem(
+    netlist: GateNetlist,
+    fault: Fault,
+    assignable: Optional[Set[str]] = None,
+    backtrack_limit: int = 200,
+    extra_sites: Optional[Sequence[Fault]] = None,
+) -> PodemResult:
+    """Generate a test for ``fault`` or prove it redundant.
+
+    ``assignable`` restricts which source gates PODEM may control
+    (defaults to all inputs and flip-flops); non-assignable sources stay
+    X, which is how time-frame expansion models the unknown initial
+    state.  ``extra_sites`` injects the same physical fault at additional
+    netlist locations (the frame copies produced by unrolling).
+    """
+    engine = _PodemEngine(netlist, fault, assignable, backtrack_limit, extra_sites or ())
+    return engine.search()
+
+
+class _PodemEngine:
+    def __init__(
+        self,
+        netlist: GateNetlist,
+        fault: Fault,
+        assignable: Optional[Set[str]],
+        backtrack_limit: int,
+        extra_sites: Sequence[Fault] = (),
+    ) -> None:
+        self.netlist = netlist
+        self.fault = fault
+        self.extra_sites = list(extra_sites)
+        self.backtrack_limit = backtrack_limit
+        self.gates: Dict[str, Gate] = {name: netlist.gate(name) for name in netlist.names()}
+        self.order = [
+            name for name in levelize(netlist)
+            if self.gates[name].kind not in _SOURCE_KINDS
+            and self.gates[name].kind not in (GateKind.CONST0, GateKind.CONST1)
+        ]
+        self.level = {name: i for i, name in enumerate(self.order)}
+        self.sources = [g.name for g in netlist.gates() if g.kind in _SOURCE_KINDS]
+        if assignable is None:
+            self.assignable = set(self.sources)
+        else:
+            self.assignable = set(assignable)
+        self.observe: Set[str] = {g.name for g in netlist.outputs}
+        for flop in netlist.flops:
+            self.observe.add(flop.fanins[0])
+
+        self.fanout = netlist.fanout_map()
+        self.assignment: Dict[str, int] = {}
+        self.good: Dict[str, int] = {}
+        self.faulty: Dict[str, int] = {}
+
+        # a fault on a flop input pin is observed directly at capture: the
+        # engine then only needs to *justify* the pin net to the non-stuck value
+        gate = self.gates[fault.gate]
+        self.justify_only: Optional[Tuple[str, int]] = None
+        if fault.pin is not None and gate.kind in _STATE_KINDS:
+            self.justify_only = (gate.fanins[fault.pin], v_not(fault.stuck))
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def simulate(self) -> None:
+        good, faulty = {}, {}
+        gates = self.gates
+        all_sites = [self.fault] + self.extra_sites
+        stem_sites = {f.gate: f.stuck for f in all_sites if f.pin is None}
+        pin_sites = {(f.gate, f.pin): f.stuck for f in all_sites if f.pin is not None}
+        for name, gate in gates.items():
+            kind = gate.kind
+            if kind in _SOURCE_KINDS:
+                value = self.assignment.get(name, X)
+                good[name] = value
+                faulty[name] = value
+            elif kind is GateKind.CONST0:
+                good[name] = ZERO
+                faulty[name] = ZERO
+            elif kind is GateKind.CONST1:
+                good[name] = ONE
+                faulty[name] = ONE
+        for site_name, stuck in stem_sites.items():
+            if site_name in faulty:
+                faulty[site_name] = stuck
+
+        for name in self.order:
+            gate = gates[name]
+            good[name] = eval_gate3(gate.kind, [good[s] for s in gate.fanins])
+            if name in stem_sites:
+                faulty[name] = stem_sites[name]
+                continue
+            operands = [faulty[s] for s in gate.fanins]
+            if pin_sites and gate.kind not in _STATE_KINDS:
+                for pin in range(len(operands)):
+                    stuck = pin_sites.get((name, pin))
+                    if stuck is not None:
+                        operands[pin] = stuck
+            faulty[name] = eval_gate3(gate.kind, operands)
+        self.good, self.faulty = good, faulty
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def _has_d(self, net: str) -> bool:
+        g, f = self.good[net], self.faulty[net]
+        return g != X and f != X and g != f
+
+    def _unknown(self, net: str) -> bool:
+        return self.good[net] == X or self.faulty[net] == X
+
+    def detected(self) -> bool:
+        if self.justify_only is not None:
+            net, value = self.justify_only
+            return self.good[net] == value
+        return any(self._has_d(net) for net in self.observe)
+
+    def _activation_net(self) -> str:
+        """The net whose good value must differ from the stuck value."""
+        if self.fault.pin is None:
+            return self.fault.gate
+        return self.gates[self.fault.gate].fanins[self.fault.pin]
+
+    def _d_frontier(self) -> List[Gate]:
+        frontier = []
+        for name in self.order:
+            gate = self.gates[name]
+            if gate.kind is GateKind.OUTPUT:
+                continue
+            if self._unknown(name) and any(self._has_d(s) for s in gate.fanins):
+                frontier.append(gate)
+        return frontier
+
+    def _xpath_exists(self, frontier: Sequence[Gate]) -> bool:
+        """Can a D still reach an observation point through X nets?"""
+        stack = [g.name for g in frontier]
+        visited = set(stack)
+        while stack:
+            name = stack.pop()
+            if name in self.observe:
+                return True
+            for reader in self.fanout[name]:
+                if reader in visited:
+                    continue
+                reader_gate = self.gates[reader]
+                if reader_gate.kind in _STATE_KINDS:
+                    continue
+                if reader_gate.kind is GateKind.OUTPUT or self._unknown(reader):
+                    visited.add(reader)
+                    stack.append(reader)
+        return False
+
+    # ------------------------------------------------------------------
+    # objective and backtrace
+    # ------------------------------------------------------------------
+    def objective(self) -> Optional[Tuple[str, int]]:
+        """Next (net, value) goal, or None if the fault is blocked."""
+        if self.justify_only is not None:
+            net, value = self.justify_only
+            if self.good[net] == X:
+                return (net, value)
+            return None  # justified or conflicting; detected() decides
+
+        activation = self._activation_net()
+        desired = v_not(self.fault.stuck)
+        if self.good[activation] == X:
+            return (activation, desired)
+        if self.good[activation] == self.fault.stuck:
+            return None  # activation impossible under current assignment
+
+        # a pin fault also needs the faulty gate's *other* pins sensitized
+        # before a D appears at its output
+        if self.fault.pin is not None and not self._has_d(self.fault.gate):
+            goal = self._expose_pin_fault()
+            if goal is not None:
+                return goal
+            if not self._unknown(self.fault.gate):
+                return None  # output fully known and equal: fault masked here
+
+        frontier = self._d_frontier()
+        if not frontier:
+            return None
+        if not self._xpath_exists(frontier):
+            return None
+        # try frontier gates closest to an output first; the objective must
+        # target an input that is X in the *good* machine (backtrace steers
+        # good values -- faulty-only X inputs resolve via implication)
+        for gate in sorted(frontier, key=lambda g: -self.level.get(g.name, 0)):
+            controlling = CONTROLLING.get(gate.kind)
+            for source in gate.fanins:
+                if self.good[source] == X:
+                    if controlling is not None:
+                        return (source, v_not(controlling))
+                    return (source, ZERO)
+        return None
+
+    def _expose_pin_fault(self) -> Optional[Tuple[str, int]]:
+        """Objective making the faulty gate's output show the pin difference."""
+        gate = self.gates[self.fault.gate]
+        pin = self.fault.pin
+        assert pin is not None
+        if gate.kind is GateKind.MUX2:
+            d0, d1, select = gate.fanins
+            if pin in (0, 1):
+                # route the faulty data pin: select must equal the pin index
+                if self.good[select] == X:
+                    return (select, ONE if pin == 1 else ZERO)
+                return None
+            # select-pin fault: the two data legs must differ
+            if self.good[d0] == X and self.good[d1] != X:
+                return (d0, v_not(self.good[d1]))
+            if self.good[d1] == X and self.good[d0] != X:
+                return (d1, v_not(self.good[d0]))
+            if self.good[d0] == X:
+                return (d0, ZERO)
+            return None
+        controlling = CONTROLLING.get(gate.kind)
+        for index, source in enumerate(gate.fanins):
+            if index == pin:
+                continue
+            if self.good[source] == X:
+                if controlling is not None:
+                    return (source, v_not(controlling))
+                return (source, ZERO)
+        return None
+
+    def backtrace(self, net: str, value: int) -> Optional[Tuple[str, int]]:
+        """Walk the objective back to an unassigned assignable source."""
+        current, target = net, value
+        for _ in range(len(self.gates) + 1):
+            gate = self.gates[current]
+            kind = gate.kind
+            if kind in _SOURCE_KINDS:
+                if current in self.assignable and current not in self.assignment:
+                    return (current, target)
+                return None
+            if kind in (GateKind.CONST0, GateKind.CONST1):
+                return None
+            if kind in (GateKind.BUF, GateKind.OUTPUT):
+                current = gate.fanins[0]
+                continue
+            if kind is GateKind.NOT:
+                current, target = gate.fanins[0], v_not(target)
+                continue
+            if kind in (GateKind.AND, GateKind.NAND, GateKind.OR, GateKind.NOR):
+                if kind in (GateKind.NAND, GateKind.NOR):
+                    target = v_not(target)
+                controlling = CONTROLLING[GateKind.AND if kind in (GateKind.AND, GateKind.NAND) else GateKind.OR]
+                unknowns = [s for s in gate.fanins if self.good[s] == X]
+                if not unknowns:
+                    return None
+                if target == controlling:
+                    current = unknowns[0]  # one controlling input suffices
+                    target = controlling
+                else:
+                    current = unknowns[0]  # all inputs must be non-controlling
+                    target = v_not(controlling)
+                continue
+            if kind in (GateKind.XOR, GateKind.XNOR):
+                a, b = gate.fanins
+                if kind is GateKind.XNOR:
+                    target = v_not(target)
+                if self.good[a] == X:
+                    other = self.good[b]
+                    current, target = a, (target if other in (ZERO, X) else v_not(target))
+                elif self.good[b] == X:
+                    other = self.good[a]
+                    current, target = b, (target if other in (ZERO, X) else v_not(target))
+                else:
+                    return None
+                continue
+            if kind is GateKind.MUX2:
+                d0, d1, select = gate.fanins
+                select_value = self.good[select]
+                if select_value == ZERO:
+                    current = d0
+                elif select_value == ONE:
+                    current = d1
+                elif self.good[d0] == target and self.good[d0] != X:
+                    current, target = select, ZERO
+                elif self.good[d1] == target and self.good[d1] != X:
+                    current, target = select, ONE
+                elif self.good[d0] == X:
+                    current = d0
+                elif self.good[d1] == X:
+                    current, target = select, ONE
+                else:
+                    current, target = select, ZERO
+                continue
+            raise AtpgError(f"backtrace cannot handle gate kind {kind}")
+        raise AtpgError("backtrace did not terminate (cyclic netlist?)")
+
+    # ------------------------------------------------------------------
+    # main search
+    # ------------------------------------------------------------------
+    def search(self) -> PodemResult:
+        backtracks = 0
+        decisions: List[Tuple[str, int, bool]] = []  # (source, value, both_tried)
+        self.simulate()
+        while True:
+            if self.detected():
+                return PodemResult(PodemStatus.DETECTED, dict(self.assignment), backtracks)
+
+            step: Optional[Tuple[str, int]] = None
+            goal = self.objective()
+            if goal is not None:
+                step = self.backtrace(*goal)
+
+            if step is not None:
+                source, value = step
+                decisions.append((source, value, False))
+                self.assignment[source] = value
+                self.simulate()
+                continue
+
+            # conflict: backtrack
+            flipped = False
+            while decisions:
+                source, value, both_tried = decisions.pop()
+                del self.assignment[source]
+                if not both_tried:
+                    backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return PodemResult(PodemStatus.ABORTED, {}, backtracks)
+                    decisions.append((source, v_not(value), True))
+                    self.assignment[source] = v_not(value)
+                    flipped = True
+                    break
+            if not flipped:
+                return PodemResult(PodemStatus.REDUNDANT, {}, backtracks)
+            self.simulate()

@@ -1,0 +1,100 @@
+"""Three-valued (0/1/X) logic used by PODEM's implication engine.
+
+The fault machine is simulated as a *pair* of three-valued machines
+(good, faulty); a net carries a D when good=1/faulty=0 and a D-bar when
+good=0/faulty=1.  Values are small ints: 0, 1, and 2 for X.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gates.cells import GateKind
+
+ZERO, ONE, X = 0, 1, 2
+
+
+def v_not(a: int) -> int:
+    if a == X:
+        return X
+    return 1 - a
+
+
+def v_and(operands: Sequence[int]) -> int:
+    result = ONE
+    for a in operands:
+        if a == ZERO:
+            return ZERO
+        if a == X:
+            result = X
+    return result
+
+
+def v_or(operands: Sequence[int]) -> int:
+    result = ZERO
+    for a in operands:
+        if a == ONE:
+            return ONE
+        if a == X:
+            result = X
+    return result
+
+
+def v_xor(a: int, b: int) -> int:
+    if a == X or b == X:
+        return X
+    return a ^ b
+
+
+def v_mux(d0: int, d1: int, select: int) -> int:
+    if select == ZERO:
+        return d0
+    if select == ONE:
+        return d1
+    if d0 == d1:
+        return d0
+    return X
+
+
+def eval_gate3(kind: GateKind, operands: Sequence[int]) -> int:
+    """Three-valued evaluation of one gate."""
+    if kind in (GateKind.BUF, GateKind.OUTPUT):
+        return operands[0]
+    if kind is GateKind.NOT:
+        return v_not(operands[0])
+    if kind is GateKind.AND:
+        return v_and(operands)
+    if kind is GateKind.NAND:
+        return v_not(v_and(operands))
+    if kind is GateKind.OR:
+        return v_or(operands)
+    if kind is GateKind.NOR:
+        return v_not(v_or(operands))
+    if kind is GateKind.XOR:
+        return v_xor(operands[0], operands[1])
+    if kind is GateKind.XNOR:
+        return v_not(v_xor(operands[0], operands[1]))
+    if kind is GateKind.MUX2:
+        return v_mux(operands[0], operands[1], operands[2])
+    if kind is GateKind.CONST0:
+        return ZERO
+    if kind is GateKind.CONST1:
+        return ONE
+    raise ValueError(f"cannot evaluate kind {kind} in three-valued logic")
+
+
+#: controlling input value per gate kind (None if the kind has none)
+CONTROLLING = {
+    GateKind.AND: ZERO,
+    GateKind.NAND: ZERO,
+    GateKind.OR: ONE,
+    GateKind.NOR: ONE,
+}
+
+#: whether the gate inverts on the controlled/non-controlled path
+INVERTS = {
+    GateKind.NAND: True,
+    GateKind.NOR: True,
+    GateKind.NOT: True,
+    GateKind.XNOR: True,
+}

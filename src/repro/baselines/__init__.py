@@ -1,0 +1,12 @@
+"""Comparison baselines: FSCAN-BSCAN, the test-bus architecture, and
+HSCAN-without-chip-level-DFT (the paper's Tables 2 and 3 columns)."""
+
+from repro.baselines.fscan_bscan import FscanBscanReport, fscan_bscan_report
+from repro.baselines.testbus import TestBusReport, evaluate_test_bus
+
+__all__ = [
+    "FscanBscanReport",
+    "fscan_bscan_report",
+    "TestBusReport",
+    "evaluate_test_bus",
+]

@@ -1,0 +1,76 @@
+"""The FSCAN-BSCAN baseline SOC test method.
+
+Every core is full-scanned and isolated by a boundary-scan ring; a
+core's flip-flops plus the boundary cells on its (internal) inputs form
+one serial chain, so testing it costs ``L*V + L - 1`` cycles with
+``L = ff + input_bits``.  Cores are tested one after another.  This is
+the method the paper's Tables 2 and 3 compare SOCET against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dft.bscan import boundary_scan_overhead
+from repro.dft.fscan import fscan_overhead
+from repro.dft.tat import fscan_bscan_core_tat
+from repro.soc.system import Soc
+
+
+@dataclass
+class FscanBscanCoreRow:
+    core: str
+    flip_flops: int
+    internal_input_bits: int
+    vectors: int
+    chain_length: int
+    tat: int
+    fscan_cells: int
+    bscan_cells: int
+
+
+@dataclass
+class FscanBscanReport:
+    """Area and test-time accounting for the baseline on one SOC."""
+
+    soc: str
+    rows: List[FscanBscanCoreRow] = field(default_factory=list)
+
+    @property
+    def total_tat(self) -> int:
+        return sum(row.tat for row in self.rows)
+
+    @property
+    def fscan_cells(self) -> int:
+        return sum(row.fscan_cells for row in self.rows)
+
+    @property
+    def bscan_cells(self) -> int:
+        return sum(row.bscan_cells for row in self.rows)
+
+    @property
+    def total_cells(self) -> int:
+        return self.fscan_cells + self.bscan_cells
+
+
+def fscan_bscan_report(soc: Soc) -> FscanBscanReport:
+    """Evaluate the FSCAN-BSCAN baseline on ``soc`` (memories excluded)."""
+    report = FscanBscanReport(soc=soc.name)
+    for core in soc.testable_cores():
+        flip_flops = core.flip_flops
+        input_bits = core.input_bits
+        chain = flip_flops + input_bits
+        report.rows.append(
+            FscanBscanCoreRow(
+                core=core.name,
+                flip_flops=flip_flops,
+                internal_input_bits=input_bits,
+                vectors=core.test_vectors,
+                chain_length=chain,
+                tat=fscan_bscan_core_tat(flip_flops, input_bits, core.test_vectors),
+                fscan_cells=fscan_overhead(flip_flops),
+                bscan_cells=boundary_scan_overhead(core.circuit).extra_area,
+            )
+        )
+    return report

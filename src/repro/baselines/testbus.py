@@ -1,0 +1,62 @@
+"""The test-bus baseline: direct multiplexed pin access to every core.
+
+An added bus runs from the PIs to the POs and isolates each core with
+multiplexers, so every core input is controllable and every output
+observable with zero transparency latency.  Test time is minimal (one
+scan step per cycle); area is maximal (muxes on every port bit) -- the
+degenerate end point the paper says its optimizer approaches when test
+time must shrink without limit.  It also cannot test core-to-core
+interconnect, which the paper holds against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.soc.system import Soc
+from repro.transparency.versions import _tmux_cost
+
+
+@dataclass
+class TestBusCoreRow:
+    core: str
+    port_bits: int
+    mux_cells: int
+    tat: int
+
+
+@dataclass
+class TestBusReport:
+    soc: str
+    rows: List[TestBusCoreRow] = field(default_factory=list)
+    #: bus routing allowance (one mux per PI/PO bit of the widest path)
+    bus_cells: int = 0
+
+    @property
+    def total_tat(self) -> int:
+        return sum(row.tat for row in self.rows)
+
+    @property
+    def total_cells(self) -> int:
+        return self.bus_cells + sum(row.mux_cells for row in self.rows)
+
+
+def evaluate_test_bus(soc: Soc) -> TestBusReport:
+    report = TestBusReport(soc=soc.name)
+    widest = 0
+    for core in soc.testable_cores():
+        port_bits = core.input_bits + core.circuit.output_bit_count()
+        widest = max(widest, core.input_bits)
+        mux_cells = 0
+        for port in core.circuit.inputs:
+            mux_cells += _tmux_cost(port.width)
+        for port in core.circuit.outputs:
+            mux_cells += _tmux_cost(port.width)
+        depth = core.scan_depth
+        tat = core.hscan_vectors + max(0, depth - 1)
+        report.rows.append(
+            TestBusCoreRow(core=core.name, port_bits=port_bits, mux_cells=mux_cells, tat=tat)
+        )
+    report.bus_cells = 2 * widest
+    return report

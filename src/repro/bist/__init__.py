@@ -1,0 +1,32 @@
+"""Memory BIST: March tests over behavioral memories with fault injection.
+
+The paper excludes the RAM/ROM cores from the transparency CCG because
+"most memory cores use BIST"; this package supplies that BIST: March
+C-/X/Y algorithms, a behavioral memory with injectable stuck-at and
+coupling faults, and a controller-level test-time model.
+"""
+
+from repro.bist.memory import BehavioralMemory, CellStuckAt, InversionCoupling
+from repro.bist.march import (
+    MARCH_C_MINUS,
+    MARCH_X,
+    MARCH_Y,
+    MarchElement,
+    MarchTest,
+    run_march,
+)
+from repro.bist.controller import MemoryBistPlan, plan_memory_bist
+
+__all__ = [
+    "BehavioralMemory",
+    "CellStuckAt",
+    "InversionCoupling",
+    "MARCH_C_MINUS",
+    "MARCH_X",
+    "MARCH_Y",
+    "MarchElement",
+    "MarchTest",
+    "run_march",
+    "MemoryBistPlan",
+    "plan_memory_bist",
+]

@@ -1,0 +1,136 @@
+"""March test algorithms and their execution against behavioral memories.
+
+A March test is a sequence of *elements*; each element walks the whole
+address space in a fixed direction applying a short list of read/write
+operations per word.  March C- detects all cell stuck-ats, address
+faults, and inversion/idempotent coupling faults with 10N operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bist.memory import BehavioralMemory
+from repro.errors import BistError
+
+UP, DOWN, EITHER = "up", "down", "either"
+
+# operations: ("r", expected_background) or ("w", background)
+Op = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One address sweep: direction + per-word operation list.
+
+    Backgrounds are symbolic: 0 writes/expects the all-zeros word, 1 the
+    all-ones word.
+    """
+
+    direction: str
+    ops: Tuple[Op, ...]
+
+    def __str__(self) -> str:
+        arrow = {"up": "U", "down": "D", "either": "B"}[self.direction]
+        body = ", ".join(f"{op}{value}" for op, value in self.ops)
+        return f"{arrow}({body})"
+
+
+@dataclass(frozen=True)
+class MarchTest:
+    """A named sequence of March elements."""
+
+    name: str
+    elements: Tuple[MarchElement, ...]
+
+    @property
+    def operations_per_word(self) -> int:
+        return sum(len(element.ops) for element in self.elements)
+
+    def cycle_count(self, words: int) -> int:
+        """Total BIST cycles (one op per cycle)."""
+        return self.operations_per_word * words
+
+
+def _element(direction: str, *ops: str) -> MarchElement:
+    parsed: List[Op] = []
+    for op in ops:
+        if len(op) != 2 or op[0] not in "rw" or op[1] not in "01":
+            raise BistError(f"malformed march op {op!r}")
+        parsed.append((op[0], int(op[1])))
+    return MarchElement(direction, tuple(parsed))
+
+
+MARCH_C_MINUS = MarchTest(
+    "March C-",
+    (
+        _element(EITHER, "w0"),
+        _element(UP, "r0", "w1"),
+        _element(UP, "r1", "w0"),
+        _element(DOWN, "r0", "w1"),
+        _element(DOWN, "r1", "w0"),
+        _element(EITHER, "r0"),
+    ),
+)
+
+MARCH_X = MarchTest(
+    "March X",
+    (
+        _element(EITHER, "w0"),
+        _element(UP, "r0", "w1"),
+        _element(DOWN, "r1", "w0"),
+        _element(EITHER, "r0"),
+    ),
+)
+
+MARCH_Y = MarchTest(
+    "March Y",
+    (
+        _element(EITHER, "w0"),
+        _element(UP, "r0", "w1", "r1"),
+        _element(DOWN, "r1", "w0", "r0"),
+        _element(EITHER, "r0"),
+    ),
+)
+
+
+def run_march(test: MarchTest, memory: BehavioralMemory) -> Optional[Tuple[int, int]]:
+    """Execute ``test``; returns (address, element index) of the first
+    mismatch, or None if the memory behaves correctly."""
+    ones = (1 << memory.width) - 1
+    backgrounds = {0: 0, 1: ones}
+    for element_index, element in enumerate(test.elements):
+        addresses = range(memory.words)
+        if element.direction == DOWN:
+            addresses = range(memory.words - 1, -1, -1)
+        for address in addresses:
+            for op, value in element.ops:
+                if op == "w":
+                    memory.write(address, backgrounds[value])
+                else:
+                    observed = memory.read(address)
+                    if observed != backgrounds[value]:
+                        return (address, element_index)
+    return None
+
+
+def grade_march(
+    test: MarchTest,
+    words: int,
+    width: int,
+    faults: Sequence[object],
+) -> Tuple[int, List[object]]:
+    """Count how many injected faults ``test`` detects.
+
+    Returns (detected count, undetected fault list).
+    """
+    undetected = []
+    detected = 0
+    for fault in faults:
+        memory = BehavioralMemory(words, width, fault=fault)
+        if run_march(test, memory) is not None:
+            detected += 1
+        else:
+            undetected.append(fault)
+    return detected, undetected

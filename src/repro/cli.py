@@ -1,0 +1,204 @@
+"""Command-line interface: inspect cores, sweep systems, compare methods.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro cores                     # example cores + key stats
+    python -m repro versions CPU              # a core's transparency ladder
+    python -m repro plan System1              # test plan (min-area versions)
+    python -m repro plan System1 -s CPU=3     # ...with the CPU at Version 3
+    python -m repro sweep System1             # Figure 10's design space
+    python -m repro compare System2           # SOCET vs FSCAN-BSCAN summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.util import render_table
+
+
+def _core_builders():
+    from repro.designs import core_builders
+
+    return core_builders()
+
+
+def _build_system(name: str):
+    from repro.designs import system_builders
+
+    builders = system_builders()
+    if name not in builders:
+        raise SystemExit(f"unknown system {name!r}; choose from {sorted(builders)}")
+    return builders[name]()
+
+
+def _parse_selection(soc, spec: Optional[str]) -> Optional[Dict[str, int]]:
+    if not spec:
+        return None
+    selection = {core.name: 0 for core in soc.testable_cores()}
+    for item in spec.split(","):
+        try:
+            core_name, version = item.split("=")
+            index = int(version) - 1
+        except ValueError:
+            raise SystemExit(f"bad selection item {item!r}; expected CORE=N")
+        if core_name not in selection:
+            raise SystemExit(f"unknown core {core_name!r}")
+        if not 0 <= index < soc.cores[core_name].version_count:
+            raise SystemExit(
+                f"{core_name} has versions 1..{soc.cores[core_name].version_count}"
+            )
+        selection[core_name] = index
+    return selection
+
+
+# ----------------------------------------------------------------------
+def cmd_cores(_args) -> int:
+    from repro.dft import insert_hscan
+    from repro.elaborate import elaborate
+
+    rows = []
+    for name, builder in sorted(_core_builders().items()):
+        circuit = builder()
+        area = elaborate(circuit).netlist.area()
+        if name in ("RAM", "ROM"):
+            rows.append([name, circuit.flip_flop_count(), area, "-", "(memory: BIST)"])
+            continue
+        plan = insert_hscan(circuit)
+        rows.append([name, circuit.flip_flop_count(), area, plan.depth,
+                     f"{plan.extra_area} cells HSCAN"])
+    print(render_table(["core", "FFs", "area(cells)", "scan depth", "DFT"], rows))
+    return 0
+
+
+def cmd_versions(args) -> int:
+    from repro.flow import prepare_core
+
+    builders = _core_builders()
+    if args.core not in builders:
+        raise SystemExit(f"unknown core {args.core!r}; choose from {sorted(builders)}")
+    prep = prepare_core(builders[args.core]())
+    table = prep.version_latency_table()
+    headers = list(table[0].keys())
+    rows = [[row.get(h, "-") for h in headers] for row in table]
+    print(render_table(headers, rows, title=f"{args.core}: transparency versions"))
+    print(f"\nATPG: {prep.vector_count} vectors, "
+          f"FC {prep.atpg.report.fault_coverage:.1f}%, "
+          f"TEff {prep.atpg.report.test_efficiency:.1f}%")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.soc import plan_soc_test
+
+    soc = _build_system(args.system)
+    selection = _parse_selection(soc, args.select)
+    plan = plan_soc_test(soc, selection)
+    rows = []
+    for name, core_plan in sorted(plan.core_plans.items()):
+        rows.append([name, plan.selection[name] + 1, core_plan.cadence,
+                     core_plan.scan_steps, core_plan.flush, core_plan.tat])
+    print(render_table(
+        ["core", "version", "cadence", "scan steps", "flush", "TAT"],
+        rows,
+        title=f"{soc.name}: SOCET test plan",
+    ))
+    print(f"\ntotal TAT: {plan.total_tat} cycles")
+    print(f"chip-level DFT: {plan.chip_dft_cells} cells "
+          f"(versions {plan.version_cells}, muxes {plan.test_mux_cells}, "
+          f"controller {plan.controller_cells})")
+    for mux in plan.test_muxes:
+        print(f"  {mux}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.soc import design_space
+
+    soc = _build_system(args.system)
+    points = design_space(soc)
+    rows = [[p.index, p.chip_cells, p.tat, p.label()] for p in points]
+    print(render_table(["pt", "chip cells", "TAT", "versions"], rows,
+                       title=f"{soc.name}: design space"))
+    best = min(points, key=lambda p: (p.tat, p.chip_cells))
+    print(f"\nmin-area: point 1 ({points[0].tat} cycles); "
+          f"min-TAT: point {best.index} ({best.tat} cycles, {best.label()})")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.flow import render_area_table, run_socet
+
+    soc = _build_system(args.system)
+    run = run_socet(soc)
+    print(render_area_table(run.area_rows()))
+    ratio = run.baseline.total_tat / max(1, run.min_tat_plan.total_tat)
+    print(f"\nFSCAN-BSCAN: {run.baseline.total_tat} cycles; "
+          f"SOCET: {run.min_area_plan.total_tat} (min area) / "
+          f"{run.min_tat_plan.total_tat} (min TApp) -- {ratio:.1f}x faster")
+    return 0
+
+
+def cmd_export(args) -> int:
+    import json
+
+    from repro.flow.export import plan_to_dict
+    from repro.soc import plan_soc_test
+
+    soc = _build_system(args.system)
+    selection = _parse_selection(soc, args.select)
+    plan = plan_soc_test(soc, selection)
+    payload = plan_to_dict(plan)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SOCET core-based SOC test planning (DAC'98 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("cores", help="list the example cores").set_defaults(func=cmd_cores)
+
+    p_versions = sub.add_parser("versions", help="a core's transparency versions")
+    p_versions.add_argument("core")
+    p_versions.set_defaults(func=cmd_versions)
+
+    p_plan = sub.add_parser("plan", help="plan an SOC test")
+    p_plan.add_argument("system")
+    p_plan.add_argument("-s", "--select", help="version selection, e.g. CPU=3,DISPLAY=1")
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_sweep = sub.add_parser("sweep", help="sweep the version design space")
+    p_sweep.add_argument("system")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_compare = sub.add_parser("compare", help="SOCET vs FSCAN-BSCAN")
+    p_compare.add_argument("system")
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_export = sub.add_parser("export", help="export a test plan as JSON")
+    p_export.add_argument("system")
+    p_export.add_argument("-s", "--select", help="version selection, e.g. CPU=3")
+    p_export.add_argument("-o", "--output", help="output file (default stdout)")
+    p_export.set_defaults(func=cmd_export)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

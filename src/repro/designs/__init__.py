@@ -1,0 +1,36 @@
+"""RTL reconstructions of the paper's example cores and systems.
+
+System 1 is the barcode-scanner SOC of Figure 2 (CPU + PREPROCESSOR +
+DISPLAY + RAM + ROM); the CPU follows the Parwan-style accumulator
+machine of Figure 3.  System 2 combines a graphics processor, a GCD
+unit, and an X.25-style protocol engine (references [9]-[11]).  The
+original RTL is not public, so these are reconstructions guided by the
+paper's figures, port lists, flip-flop counts, and version latency
+tables; the DESIGN.md substitution notes apply.
+"""
+
+from repro.designs.cpu import build_cpu
+from repro.designs.preprocessor import build_preprocessor
+from repro.designs.display import build_display
+from repro.designs.memory_cores import build_ram, build_rom
+from repro.designs.gcd import build_gcd
+from repro.designs.graphics import build_graphics
+from repro.designs.x25 import build_x25
+from repro.designs.barcode import build_system1
+from repro.designs.system2 import build_system2
+from repro.designs.registry import core_builders, system_builders
+
+__all__ = [
+    "build_cpu",
+    "build_preprocessor",
+    "build_display",
+    "build_ram",
+    "build_rom",
+    "build_gcd",
+    "build_graphics",
+    "build_x25",
+    "build_system1",
+    "build_system2",
+    "core_builders",
+    "system_builders",
+]

@@ -1,0 +1,131 @@
+"""The barcode system's CPU core (paper Figures 3-7).
+
+A Parwan-style 8-bit accumulator machine with a 12-bit (page + offset)
+address space:
+
+* ``IR`` instruction register, ``DR`` data/operand register, ``AC``
+  accumulator, ``SR`` status flags, ``PC_offset`` program counter,
+  ``MAR_page``/``MAR_offset`` memory address register halves;
+* mux ``M`` in front of ``MAR_offset`` selects between the program
+  counter and the ``Data`` bus -- the existing path the paper's
+  Version 2 steals for 1-cycle transparency (Data -> Address(7:0));
+* single-bit control chains ``Reset -> ... -> Read`` and
+  ``Interrupt -> ... -> Write`` (2 cycles each, as in Section 4).
+
+The register/mux topology is arranged so that the *generic* HSCAN and
+transparency algorithms reproduce the paper's Figure 6 latencies:
+Version 1: Data->A(7:0)=6, Data->A(11:8)=2 (total 8); Version 2: 1/2
+(total 3); Version 3: 1/1 (total 2).
+"""
+
+from __future__ import annotations
+
+from repro.rtl import CircuitBuilder, OpKind, RTLCircuit, Slice
+from repro.rtl.types import Concat, concat
+
+
+def build_cpu() -> RTLCircuit:
+    b = CircuitBuilder("CPU")
+
+    # ------------------------------------------------------------------ ports
+    data = b.input("Data", 8)
+    reset = b.input("Reset", 1)
+    interrupt = b.input("Interrupt", 1)
+
+    # ------------------------------------------------------------------ state
+    ir = b.register("IR", 8)
+    dr = b.register("DR", 8)
+    sr = b.register("SR", 4)
+    ac = b.register("AC", 8)
+    pc_offset = b.register("PC_offset", 8)
+    mar_page = b.register("MAR_page", 4)
+    mar_offset = b.register("MAR_offset", 8)
+    # two-bit control FSM + interrupt synchronizer (single-bit chains)
+    ctrl0 = b.register("CTRL0", 1)
+    ctrl1 = b.register("CTRL1", 1)
+    int0 = b.register("INT0", 1)
+    int1 = b.register("INT1", 1)
+
+    # ------------------------------------------------------------------ control decode
+    phase = b.op("PHASE", OpKind.DECODE, [concat(ctrl0, ctrl1)])  # 4 one-hot phases
+    opcode = b.op("OPCODE", OpKind.DECODE, [ir.sub(4, 4)])  # 16 one-hot opcodes
+    is_load = b.op("IS_LOAD", OpKind.REDUCE_OR, [opcode.sub(0, 2)])
+    is_jump = b.op("IS_JUMP", OpKind.REDUCE_OR, [opcode.sub(2, 2)])
+    is_store = b.op("IS_STORE", OpKind.REDUCE_OR, [opcode.sub(4, 2)])
+    is_halt = b.op("IS_HALT", OpKind.REDUCE_OR, [opcode.sub(8, 4)])
+    is_io = b.op("IS_IO", OpKind.REDUCE_OR, [opcode.sub(12, 4)])
+    fetch_phase = phase.sub(0, 1)
+    mem_phase = phase.sub(1, 1)
+    exec_phase = phase.sub(2, 1)
+    wb_phase = phase.sub(3, 1)
+
+    # ------------------------------------------------------------------ datapath
+    alu_add = b.op("ALU_ADD", OpKind.ADD, [ac, dr])
+    alu_and = b.op("ALU_AND", OpKind.AND, [ac, dr])
+    alu_sel = b.op("ALU_SEL", OpKind.REDUCE_OR, [opcode.sub(6, 2)])
+    alu_out = b.mux("ALU_MUX", [alu_add, alu_and], select=alu_sel)
+
+    zero_const = b.const("ZERO8", 8, 0)
+    flag_zero = b.op("FLAG_Z", OpKind.EQ, [alu_out, zero_const])
+    flag_neg = alu_out.sub(7, 1)
+    flag_carry = b.op("FLAG_C", OpKind.LT, [alu_out, ac])
+    flag_odd = alu_out.sub(0, 1)
+    flags = concat(flag_zero, flag_neg, flag_carry, flag_odd)
+
+    # IR: loads the instruction from the data bus during fetch
+    b.drive(ir, data, enable=fetch_phase)
+
+    # DR: memory data register -- from the bus-held IR value (addressing
+    # modes), the ALU result (read-modify-write), or the Data bus itself
+    dr_sel = concat(is_store, exec_phase)
+    dr_enable = b.op("DR_EN", OpKind.OR, [mem_phase, is_store])
+    dr_mux = b.mux("DR_MUX", [ir, alu_out, data], select=dr_sel)
+    b.drive(dr, dr_mux, enable=dr_enable)
+
+    # SR: status flags, restored from DR's low nibble (context restore),
+    # or written from the bus (flag-restore instruction)
+    sr_sel = concat(exec_phase, is_jump)
+    sr_mux = b.mux("SR_MUX", [dr.sub(0, 4), flags, data.sub(0, 4)], select=sr_sel)
+    b.drive(sr, sr_mux)
+
+    # AC: ALU result, or assembled from SR (low) and DR (high) on restore
+    restore_value = Concat((Slice("SR", 0, 4), Slice("DR", 4, 4)))
+    ac_enable = b.op("AC_EN", OpKind.OR, [exec_phase, is_io])
+    ac_mux = b.mux("AC_MUX", [alu_out, restore_value], select=is_load)
+    b.drive(ac, ac_mux, enable=ac_enable)
+
+    # PC offset: increment, or jump target taken from AC; halted CPUs
+    # and write-back phases freeze the program counter
+    pc_inc = b.op("PC_INC", OpKind.INC, [pc_offset])
+    not_halt = b.op("NOT_HALT", OpKind.NOT, [is_halt])
+    pc_hold = b.op("PC_HOLD", OpKind.NOT, [wb_phase])
+    pc_enable = b.op("PC_EN", OpKind.AND, [not_halt, pc_hold])
+    pc_mux = b.mux("PC_MUX", [pc_inc, ac], select=is_jump)
+    b.drive(pc_offset, pc_mux, enable=pc_enable)
+
+    # MAR offset through mux M: program counter or direct Data (operand fetch)
+    mar_mux = b.mux("M", [pc_offset, data], select=is_load)
+    b.drive(mar_offset, mar_mux)
+
+    # MAR page from the instruction's page nibble or the status register
+    page_mux = b.mux("PAGE_MUX", [ir.sub(0, 4), sr], select=is_jump)
+    b.drive(mar_page, page_mux)
+
+    # control FSM: Reset loads state 0; otherwise advance
+    ns0 = b.op("NS0", OpKind.XOR, [ctrl0, ctrl1])
+    ctrl0_mux = b.mux("CTRL0_MUX", [ns0, reset], select=reset)
+    b.drive(ctrl0, ctrl0_mux)
+    ctrl1_mux = b.mux("CTRL1_MUX", [ctrl0, reset], select=reset)
+    b.drive(ctrl1, ctrl1_mux)
+
+    # interrupt synchronizer chain
+    b.drive(int0, interrupt)
+    int1_mux = b.mux("INT1_MUX", [int0, ctrl1], select=fetch_phase)
+    b.drive(int1, int1_mux)
+
+    # ------------------------------------------------------------------ outputs
+    b.output("Address", Concat((Slice("MAR_offset", 0, 8), Slice("MAR_page", 0, 4))))
+    b.output("DataOut", Slice("AC", 0, 8))
+    b.output("Read", Slice("CTRL1", 0, 1))
+    b.output("Write", Slice("INT1", 0, 1))
+    return b.build()

@@ -1,0 +1,43 @@
+"""GCD core (System 2), after the HLSynth'95 benchmark [10].
+
+Euclid's algorithm by repeated subtraction: operand registers ``X`` and
+``Y`` load from the inputs on ``Start`` and subtract each other until
+equal; ``Result`` presents ``X`` and ``Done`` flags completion.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import CircuitBuilder, OpKind, RTLCircuit, Slice
+
+
+def build_gcd() -> RTLCircuit:
+    b = CircuitBuilder("GCD")
+
+    x_in = b.input("Xin", 8)
+    y_in = b.input("Yin", 8)
+    start = b.input("Start", 1)
+
+    x = b.register("X", 8)
+    y = b.register("Y", 8)
+    done = b.register("DN", 1)
+    phase = b.register("PH", 1)
+
+    x_minus_y = b.op("XMY", OpKind.SUB, [x, y])
+    y_minus_x = b.op("YMX", OpKind.SUB, [y, x])
+    x_less = b.op("XLT", OpKind.LT, [x, y])
+    equal = b.op("EQL", OpKind.EQ, [x, y])
+
+    x_mux = b.mux("X_MUX", [x_minus_y, x_in], select=start)
+    b.drive(x, x_mux, enable=b.op("X_EN", OpKind.OR, [start, b.op("NXL", OpKind.NOT, [x_less])]))
+    y_mux = b.mux("Y_MUX", [y_minus_x, y_in], select=start)
+    b.drive(y, y_mux, enable=b.op("Y_EN", OpKind.OR, [start, x_less]))
+
+    done_mux = b.mux("DN_MUX", [equal, start], select=start)
+    b.drive(done, done_mux)
+    phase_mux = b.mux("PH_MUX", [Slice("DN", 0, 1), start], select=equal)
+    b.drive(phase, phase_mux)
+
+    b.output("Result", x)
+    b.output("Done", Slice("DN", 0, 1))
+    b.output("Phase", Slice("PH", 0, 1))
+    return b.build()

@@ -1,0 +1,68 @@
+"""Graphics processor core (System 2), after the control-flow-intensive
+line-drawing processor of [9].
+
+A Bresenham-style stepper: command/data registers feed coordinate
+counters ``CX``/``CY`` with an error accumulator ``ERR`` and a pattern
+register ``PAT``; the current pixel coordinates stream out on
+``PX``/``PY`` with a ``Valid`` strobe.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import CircuitBuilder, OpKind, RTLCircuit, Slice
+from repro.rtl.types import Concat
+
+
+def build_graphics() -> RTLCircuit:
+    b = CircuitBuilder("GRAPHICS")
+
+    cmd = b.input("Cmd", 8)
+    data = b.input("Data", 8)
+    go = b.input("Go", 1)
+
+    creg = b.register("CREG", 8)  # latched command
+    dreg = b.register("DREG", 8)  # latched parameter
+    cx = b.register("CX", 8)
+    cy = b.register("CY", 8)
+    err = b.register("ERR", 8)
+    pat = b.register("PAT", 8)
+    run = b.register("RUN", 1)
+    vld = b.register("VLD", 1)
+
+    b.drive(creg, cmd)
+    b.drive(dreg, data)
+
+    opcode = b.op("OPC", OpKind.DECODE, [Slice("CREG", 0, 2)])
+    is_move = opcode.sub(0, 1)
+    is_draw = b.op("IS_DRAW", OpKind.REDUCE_OR, [opcode.sub(1, 2)])
+    is_nop = opcode.sub(3, 1)
+
+    step_x = b.op("STEPX", OpKind.INC, [cx])
+    cx_mux = b.mux("CX_MUX", [step_x, dreg], select=is_move)
+    b.drive(cx, cx_mux, enable=go)
+
+    step_y = b.op("STEPY", OpKind.INC, [cy])
+    cy_mux = b.mux("CY_MUX", [step_y, cx], select=is_move)
+    b.drive(cy, cy_mux, enable=go)
+
+    err_next = b.op("ERRN", OpKind.SUB, [err, dreg])
+    err_enable = b.op("ERR_EN", OpKind.OR, [is_draw, go])
+    err_mux = b.mux("ERR_MUX", [err_next, cy], select=is_move)
+    b.drive(err, err_mux, enable=err_enable)
+
+    rotate = Concat((Slice("PAT", 7, 1), Slice("PAT", 0, 7)))
+    pat_enable = b.op("PAT_EN", OpKind.NOT, [is_nop])
+    pat_mux = b.mux("PAT_MUX", [rotate, dreg], select=is_move)
+    b.drive(pat, pat_mux, enable=pat_enable)
+
+    err_neg = Slice("ERR", 7, 1)
+    run_mux = b.mux("RUN_MUX", [err_neg, go], select=go)
+    b.drive(run, run_mux)
+    vld_mux = b.mux("VLD_MUX", [Slice("RUN", 0, 1), go], select=is_move)
+    b.drive(vld, vld_mux)
+
+    b.output("PX", cx)
+    b.output("PY", cy)
+    b.output("Pattern", pat)
+    b.output("Valid", Slice("VLD", 0, 1))
+    return b.build()

@@ -1,0 +1,47 @@
+"""RAM and ROM cores of the barcode system.
+
+The paper excludes memory cores from the transparency CCG ("most memory
+cores use BIST"); these minimal RTL shells exist so the SOC wiring is
+complete, while their actual testing is handled by :mod:`repro.bist`
+March-test engines against the behavioral models there.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import CircuitBuilder, OpKind, RTLCircuit, Slice
+
+
+def build_ram() -> RTLCircuit:
+    """4KB RAM interface shell (16 pages x 256 bytes, 8-bit data)."""
+    b = CircuitBuilder("RAM")
+    address = b.input("Address", 12)
+    data_in = b.input("DataIn", 8)
+    write = b.input("Write", 1)
+    read = b.input("Read", 1)
+
+    # interface latches standing in for the (behaviorally modelled) array
+    dor = b.register("DOR", 8, enable=read)
+    b.drive(dor, data_in)
+    busy = b.register("BUSY", 1)
+    strobe = b.op("STROBE", OpKind.OR, [write, read])
+    b.drive(busy, strobe)
+    _ = address
+    b.output("DataOut", Slice("DOR", 0, 8))
+    b.output("Busy", Slice("BUSY", 0, 1))
+    return b.build()
+
+
+def build_rom() -> RTLCircuit:
+    """4KB program ROM interface shell."""
+    b = CircuitBuilder("ROM")
+    address = b.input("Address", 12)
+    enable = b.input("Enable", 1)
+    # stand-in decode of the address into a data pattern
+    folded = b.op("FOLD", OpKind.XOR, [address.sub(0, 6), address.sub(6, 6)])
+    dor = b.register("DOR", 6, enable=enable)
+    b.drive(dor, folded)
+    pad = b.const("PAD", 2, 0)
+    from repro.rtl.types import Concat
+
+    b.output("Data", Concat((Slice("DOR", 0, 6), Slice("PAD", 0, 2))))
+    return b.build()

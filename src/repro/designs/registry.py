@@ -1,0 +1,35 @@
+"""Name-based lookup of the example cores and systems."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.designs.cpu import build_cpu
+from repro.designs.display import build_display
+from repro.designs.gcd import build_gcd
+from repro.designs.graphics import build_graphics
+from repro.designs.memory_cores import build_ram, build_rom
+from repro.designs.preprocessor import build_preprocessor
+from repro.designs.x25 import build_x25
+
+
+def core_builders() -> Dict[str, Callable]:
+    """Builders for every example core, keyed by core name."""
+    return {
+        "CPU": build_cpu,
+        "PREPROCESSOR": build_preprocessor,
+        "DISPLAY": build_display,
+        "RAM": build_ram,
+        "ROM": build_rom,
+        "GCD": build_gcd,
+        "GRAPHICS": build_graphics,
+        "X25": build_x25,
+    }
+
+
+def system_builders() -> Dict[str, Callable]:
+    """Builders for the two example systems."""
+    from repro.designs.barcode import build_system1
+    from repro.designs.system2 import build_system2
+
+    return {"System1": build_system1, "System2": build_system2}

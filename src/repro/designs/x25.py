@@ -1,0 +1,57 @@
+"""X.25 protocol core (System 2), after the conditional/loop-intensive
+protocol benchmark of [11].
+
+A frame-level receiver/transmitter: the receive shifter ``SHIFT``
+captures the byte stream, ``HOLD`` buffers a validated frame byte for
+retransmission, ``CRC`` accumulates a checksum, and the sequence
+counter ``SEQ`` with the state register ``ST`` tracks the protocol
+handshake.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import CircuitBuilder, OpKind, RTLCircuit, Slice
+from repro.rtl.types import Concat
+
+
+def build_x25() -> RTLCircuit:
+    b = CircuitBuilder("X25")
+
+    rx = b.input("RX", 8)
+    frame = b.input("Frame", 1)
+    reset = b.input("Reset", 1)
+
+    shift = b.register("SHIFT", 8)
+    hold = b.register("HOLD", 8)
+    crc = b.register("CRC", 8)
+    seq = b.register("SEQ", 4)
+    st0 = b.register("ST0", 1)
+    st1 = b.register("ST1", 1)
+
+    b.drive(shift, rx)
+    hold_mux = b.mux("HOLD_MUX", [shift, Slice("CRC", 0, 8)], select=frame)
+    b.drive(hold, hold_mux)
+
+    crc_next = b.op("CRCN", OpKind.XOR, [crc, shift])
+    crc_mux = b.mux("CRC_MUX", [crc_next, shift], select=frame)
+    b.drive(crc, crc_mux)
+
+    seq_next = b.op("SEQN", OpKind.INC, [seq])
+    seq_mux = b.mux("SEQ_MUX", [seq_next, Slice("SHIFT", 0, 4)], select=frame)
+    b.drive(seq, seq_mux)
+
+    good = b.op("GOOD", OpKind.EQ, [crc, shift])
+    st0_mux = b.mux("ST0_MUX", [good, reset], select=reset)
+    b.drive(st0, st0_mux)
+    st1_mux = b.mux("ST1_MUX", [Slice("ST0", 0, 1), frame], select=reset)
+    b.drive(st1, st1_mux)
+
+    # the transmit bus shows the frame buffer only while the handshake
+    # state allows it (functionally deepening chip-level observability;
+    # the mux is an existing path transparency can steer)
+    idle = b.const("IDLE", 8, 0)
+    tx_mux = b.mux("TX_MUX", [idle, Slice("HOLD", 0, 8)], select=Slice("ST1", 0, 1))
+    b.output("TX", tx_mux)
+    b.output("SeqOut", Concat((Slice("SEQ", 0, 4), Slice("SHIFT", 4, 4))))
+    b.output("Ack", Slice("ST1", 0, 1))
+    return b.build()

@@ -1,0 +1,182 @@
+"""Gate-macro expansions for word-level RTL operators.
+
+Each function appends gates to a netlist and returns the list of output
+bit nets (LSB first).  Gate names are drawn from a
+:class:`~repro.util.namegen.NameGenerator` so repeated elaboration stays
+collision-free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ElaborationError
+from repro.gates.cells import GateKind
+from repro.gates.netlist import GateNetlist
+from repro.util.namegen import NameGenerator
+
+
+def _fresh(netlist: GateNetlist, names: NameGenerator, prefix: str, kind: GateKind, fanins: List[str]) -> str:
+    name = names.fresh(prefix)
+    netlist.add_gate(name, kind, fanins)
+    return name
+
+
+def const_bit(netlist: GateNetlist, names: NameGenerator, prefix: str, value: int) -> str:
+    kind = GateKind.CONST1 if value else GateKind.CONST0
+    return _fresh(netlist, names, prefix, kind, [])
+
+
+def bitwise(
+    netlist: GateNetlist,
+    names: NameGenerator,
+    prefix: str,
+    kind: GateKind,
+    a: List[str],
+    b: List[str],
+) -> List[str]:
+    """Per-bit two-operand gate (AND/OR/XOR)."""
+    if len(a) != len(b):
+        raise ElaborationError(f"{prefix}: operand widths differ ({len(a)} vs {len(b)})")
+    return [_fresh(netlist, names, prefix, kind, [a[i], b[i]]) for i in range(len(a))]
+
+
+def invert(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str]) -> List[str]:
+    return [_fresh(netlist, names, prefix, GateKind.NOT, [bit]) for bit in a]
+
+
+def ripple_add(
+    netlist: GateNetlist,
+    names: NameGenerator,
+    prefix: str,
+    a: List[str],
+    b: List[str],
+    carry_in: str,
+) -> List[str]:
+    """Full ripple-carry adder; returns sum bits then carry-out appended last."""
+    if len(a) != len(b):
+        raise ElaborationError(f"{prefix}: adder operand widths differ")
+    sums: List[str] = []
+    carry = carry_in
+    for i in range(len(a)):
+        axb = _fresh(netlist, names, prefix, GateKind.XOR, [a[i], b[i]])
+        sums.append(_fresh(netlist, names, prefix, GateKind.XOR, [axb, carry]))
+        and1 = _fresh(netlist, names, prefix, GateKind.AND, [a[i], b[i]])
+        and2 = _fresh(netlist, names, prefix, GateKind.AND, [axb, carry])
+        carry = _fresh(netlist, names, prefix, GateKind.OR, [and1, and2])
+    sums.append(carry)
+    return sums
+
+
+def subtract(
+    netlist: GateNetlist,
+    names: NameGenerator,
+    prefix: str,
+    a: List[str],
+    b: List[str],
+) -> List[str]:
+    """a - b as a + ~b + 1; returns difference bits then carry-out (no-borrow flag)."""
+    b_inverted = invert(netlist, names, prefix, b)
+    one = const_bit(netlist, names, prefix, 1)
+    return ripple_add(netlist, names, prefix, a, b_inverted, one)
+
+
+def increment(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str]) -> List[str]:
+    """a + 1 via a half-adder chain; carry-out is dropped."""
+    outputs: List[str] = []
+    carry = const_bit(netlist, names, prefix, 1)
+    for bit in a:
+        outputs.append(_fresh(netlist, names, prefix, GateKind.XOR, [bit, carry]))
+        carry = _fresh(netlist, names, prefix, GateKind.AND, [bit, carry])
+    return outputs
+
+
+def decrement(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str]) -> List[str]:
+    """a - 1 via a half-subtractor chain (borrow ripples); borrow-out dropped."""
+    outputs: List[str] = []
+    borrow = const_bit(netlist, names, prefix, 1)
+    for bit in a:
+        outputs.append(_fresh(netlist, names, prefix, GateKind.XOR, [bit, borrow]))
+        not_bit = _fresh(netlist, names, prefix, GateKind.NOT, [bit])
+        borrow = _fresh(netlist, names, prefix, GateKind.AND, [not_bit, borrow])
+    return outputs
+
+
+def equals(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str], b: List[str]) -> str:
+    """1-bit a == b."""
+    xnors = bitwise(netlist, names, prefix, GateKind.XNOR, a, b)
+    if len(xnors) == 1:
+        return xnors[0]
+    return _fresh(netlist, names, prefix, GateKind.AND, xnors)
+
+
+def less_than(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str], b: List[str]) -> str:
+    """1-bit unsigned a < b: borrow out of a - b."""
+    diff = subtract(netlist, names, prefix, a, b)
+    carry_out = diff[-1]
+    return _fresh(netlist, names, prefix, GateKind.NOT, [carry_out])
+
+
+def shift_left(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str]) -> List[str]:
+    zero = const_bit(netlist, names, prefix, 0)
+    return [zero] + a[:-1]
+
+
+def shift_right(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str]) -> List[str]:
+    zero = const_bit(netlist, names, prefix, 0)
+    return a[1:] + [zero]
+
+
+def decode(netlist: GateNetlist, names: NameGenerator, prefix: str, a: List[str]) -> List[str]:
+    """n-bit input -> 2^n one-hot outputs."""
+    inverted = invert(netlist, names, prefix, a)
+    outputs: List[str] = []
+    for code in range(1 << len(a)):
+        literals = [a[i] if (code >> i) & 1 else inverted[i] for i in range(len(a))]
+        if len(literals) == 1:
+            outputs.append(_fresh(netlist, names, prefix, GateKind.BUF, literals))
+        else:
+            outputs.append(_fresh(netlist, names, prefix, GateKind.AND, literals))
+    return outputs
+
+
+def reduce_gate(
+    netlist: GateNetlist,
+    names: NameGenerator,
+    prefix: str,
+    kind: GateKind,
+    a: List[str],
+) -> str:
+    if len(a) == 1:
+        return _fresh(netlist, names, prefix, GateKind.BUF, a)
+    return _fresh(netlist, names, prefix, kind, a)
+
+
+def mux_tree(
+    netlist: GateNetlist,
+    names: NameGenerator,
+    prefix: str,
+    inputs: List[List[str]],
+    select: List[str],
+) -> List[str]:
+    """Per-bit MUX2 tree over word inputs; select is LSB-first.
+
+    Select codes beyond ``len(inputs) - 1`` resolve to the last input,
+    matching the RTL mux semantics.
+    """
+    if not inputs:
+        raise ElaborationError(f"{prefix}: mux with no inputs")
+    if len(inputs) == 1:
+        return inputs[0]
+    if not select:
+        raise ElaborationError(f"{prefix}: mux needs select bits for {len(inputs)} inputs")
+    top = select[-1]
+    half = 1 << (len(select) - 1)
+    low_group = inputs[:half]
+    high_group = inputs[half:] if len(inputs) > half else [inputs[-1]]
+    low = mux_tree(netlist, names, prefix, low_group, select[:-1])
+    high = mux_tree(netlist, names, prefix, high_group, select[:-1])
+    return [
+        _fresh(netlist, names, prefix, GateKind.MUX2, [low[i], high[i], top])
+        for i in range(len(low))
+    ]

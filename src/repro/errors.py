@@ -1,0 +1,53 @@
+"""Exception hierarchy for the SOCET reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the library's failures with a single ``except`` clause
+while still distinguishing structural problems (bad netlists) from
+algorithmic ones (no transparency path, infeasible constraints).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """A structural problem in an RTL or gate-level netlist.
+
+    Raised for duplicate names, dangling connections, width mismatches,
+    combinational cycles, and similar malformed-design conditions.
+    """
+
+
+class ElaborationError(ReproError):
+    """RTL could not be elaborated to gates (unsupported op, bad widths)."""
+
+
+class SimulationError(ReproError):
+    """The logic or fault simulator was driven with inconsistent inputs."""
+
+
+class AtpgError(ReproError):
+    """Test generation failed in a way that is not a normal abort."""
+
+
+class DftError(ReproError):
+    """DFT insertion (scan, boundary scan, HSCAN) failed."""
+
+
+class TransparencyError(ReproError):
+    """No transparency path could be constructed for a core port."""
+
+
+class SocError(ReproError):
+    """Chip-level analysis failed (disconnected CCG, bad core wiring)."""
+
+
+class InfeasibleConstraintError(SocError):
+    """The optimizer cannot satisfy the user's area/TAT constraint."""
+
+
+class BistError(ReproError):
+    """Memory BIST configuration or execution problem."""

@@ -1,0 +1,84 @@
+"""Structural equivalence collapsing of stuck-at faults.
+
+Classic gate-local rules (Abramovici et al., "Digital Systems Testing and
+Testable Design", ch. 4):
+
+* AND : any input sa0 == output sa0        NAND: any input sa0 == output sa1
+* OR  : any input sa1 == output sa1        NOR : any input sa1 == output sa0
+* NOT : input sa0 == output sa1, input sa1 == output sa0
+* BUF : input sav == output sav
+
+Pin faults that were never enumerated (single-fanout nets) are already
+implicitly collapsed onto the driving stem by the universe builder; here
+we union the enumerated faults into equivalence classes and keep one
+representative per class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.model import Fault
+from repro.gates.cells import GateKind
+from repro.gates.netlist import GateNetlist
+
+_Key = Tuple[str, Optional[int], int]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[_Key, _Key] = {}
+
+    def find(self, key: _Key) -> _Key:
+        parent = self._parent.setdefault(key, key)
+        if parent != key:
+            parent = self.find(parent)
+            self._parent[key] = parent
+        return parent
+
+    def union(self, a: _Key, b: _Key) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+def collapse_faults(netlist: GateNetlist, faults: List[Fault]) -> List[Fault]:
+    """Return one representative per structural equivalence class.
+
+    Only faults present in ``faults`` participate; the representative is
+    the lexicographically smallest member so results are deterministic.
+    """
+    present = {(f.gate, f.pin, f.stuck): f for f in faults}
+    uf = _UnionFind()
+
+    def union_if_present(a: _Key, b: _Key) -> None:
+        if a in present and b in present:
+            uf.union(a, b)
+
+    for gate in netlist.gates():
+        name, kind = gate.name, gate.kind
+        pins = range(len(gate.fanins))
+        if kind is GateKind.AND:
+            for pin in pins:
+                union_if_present((name, None, 0), (name, pin, 0))
+        elif kind is GateKind.NAND:
+            for pin in pins:
+                union_if_present((name, None, 1), (name, pin, 0))
+        elif kind is GateKind.OR:
+            for pin in pins:
+                union_if_present((name, None, 1), (name, pin, 1))
+        elif kind is GateKind.NOR:
+            for pin in pins:
+                union_if_present((name, None, 0), (name, pin, 1))
+        elif kind is GateKind.NOT:
+            union_if_present((name, None, 1), (name, 0, 0))
+            union_if_present((name, None, 0), (name, 0, 1))
+        elif kind in (GateKind.BUF, GateKind.OUTPUT, GateKind.DFF):
+            # a buffer/flop forwards its D pin; pin fault == stem fault.
+            union_if_present((name, None, 0), (name, 0, 0))
+            union_if_present((name, None, 1), (name, 0, 1))
+    classes: Dict[_Key, List[Fault]] = {}
+    for key, fault in present.items():
+        classes.setdefault(uf.find(key), []).append(fault)
+    representatives = [min(members, key=Fault.sort_key) for members in classes.values()]
+    return sorted(representatives, key=Fault.sort_key)

@@ -1,0 +1,49 @@
+"""Coverage metrics: fault coverage and test efficiency.
+
+The paper reports both *fault coverage* (detected / total) and *test
+efficiency* (detected + proven redundant) / total -- redundant faults are
+undetectable by any pattern, so a test set that detects everything
+detectable has 100% test efficiency even below 100% coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.faults.model import Fault
+
+
+@dataclass
+class CoverageReport:
+    """Aggregated grading outcome for one circuit + test set."""
+
+    total: int
+    detected: int
+    redundant: int = 0
+    aborted: int = 0
+    undetected_faults: List[Fault] = field(default_factory=list)
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected / total, in percent."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.detected / self.total
+
+    @property
+    def test_efficiency(self) -> float:
+        """(Detected + redundant) / total, in percent."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * (self.detected + self.redundant) / self.total
+
+    def merged_with(self, other: "CoverageReport") -> "CoverageReport":
+        """Combine two disjoint fault populations (e.g. per-core reports)."""
+        return CoverageReport(
+            total=self.total + other.total,
+            detected=self.detected + other.detected,
+            redundant=self.redundant + other.redundant,
+            aborted=self.aborted + other.aborted,
+            undetected_faults=self.undetected_faults + other.undetected_faults,
+        )

@@ -1,0 +1,64 @@
+"""The single-stuck-at fault universe of a gate netlist.
+
+Faults live on gate *output stems* and on gate *input pins*.  Input-pin
+faults are only enumerated where they are not trivially equivalent to the
+driving stem's fault -- i.e. when the driving net has fanout greater than
+one (fanout branches can diverge from the stem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.gates.cells import GateKind
+from repro.gates.netlist import GateNetlist
+from repro.gates.simulator import FaultSite
+
+_NO_STEM_FAULT = (GateKind.OUTPUT, GateKind.CONST0, GateKind.CONST1)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault.
+
+    ``pin`` is ``None`` for a fault on the gate's output stem, otherwise
+    the index of the faulty fanin pin.  ``stuck`` is the stuck value.
+    """
+
+    gate: str
+    pin: Optional[int]
+    stuck: int
+
+    def site(self) -> FaultSite:
+        return FaultSite(self.gate, self.pin, self.stuck)
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key (stem faults sort before pin faults)."""
+        return (self.gate, -1 if self.pin is None else self.pin, self.stuck)
+
+    def __str__(self) -> str:
+        location = self.gate if self.pin is None else f"{self.gate}.pin{self.pin}"
+        return f"{location}/sa{self.stuck}"
+
+
+def full_fault_universe(netlist: GateNetlist) -> List[Fault]:
+    """Enumerate the uncollapsed stuck-at universe of ``netlist``.
+
+    Constants and OUTPUT markers get no stem faults (a stuck constant is
+    undetectable by definition; the marker is an alias).  Input pins of
+    OUTPUT markers are skipped too -- they are electrically the stem.
+    """
+    fanout = netlist.fanout_map()
+    faults: List[Fault] = []
+    for gate in netlist.gates():
+        if gate.kind not in _NO_STEM_FAULT:
+            faults.append(Fault(gate.name, None, 0))
+            faults.append(Fault(gate.name, None, 1))
+        if gate.kind is GateKind.OUTPUT:
+            continue
+        for pin, source in enumerate(gate.fanins):
+            if len(fanout[source]) > 1:
+                faults.append(Fault(gate.name, pin, 0))
+                faults.append(Fault(gate.name, pin, 1))
+    return faults

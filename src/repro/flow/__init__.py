@@ -1,0 +1,40 @@
+"""End-to-end flows tying the library together.
+
+* :mod:`repro.flow.corelevel` -- the core provider's one-time job:
+  HSCAN insertion, transparency versions, ATPG, area accounting.
+* :mod:`repro.flow.system_netlist` -- flatten an SOC into one gate
+  netlist (original, HSCAN'd, or full-scanned cores).
+* :mod:`repro.flow.chiplevel` -- the SOC integrator's job: run the
+  SOCET planner/optimizer and produce the paper's report rows.
+* :mod:`repro.flow.evaluate` -- measure fault coverage / test
+  efficiency for the original, HSCAN-only, FSCAN-BSCAN, and SOCET
+  configurations (Table 3).
+"""
+
+from repro.flow.corelevel import CorePreparation, prepare_core
+from repro.flow.system_netlist import flatten_soc
+from repro.flow.chiplevel import SocetRun, run_socet
+from repro.flow.evaluate import SystemEvaluation, evaluate_system
+from repro.flow.interconnect import (
+    InterconnectReport,
+    bus_interconnect_report,
+    interconnect_report,
+)
+from repro.flow.report import AreaRow, TestabilityRow, render_area_table, render_testability_table
+
+__all__ = [
+    "CorePreparation",
+    "prepare_core",
+    "flatten_soc",
+    "SocetRun",
+    "run_socet",
+    "SystemEvaluation",
+    "evaluate_system",
+    "InterconnectReport",
+    "interconnect_report",
+    "bus_interconnect_report",
+    "AreaRow",
+    "TestabilityRow",
+    "render_area_table",
+    "render_testability_table",
+]

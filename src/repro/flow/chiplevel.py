@@ -1,0 +1,89 @@
+"""Chip-level SOCET flow: plan, optimize, and report one SOC.
+
+Produces the two extreme design points the paper's Table 2 uses (the
+minimum-area chip and the minimum-test-time chip) plus the full design
+space for Figure 10, and packages the area rows for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines.fscan_bscan import FscanBscanReport, fscan_bscan_report
+from repro.dft.hscan import insert_hscan
+from repro.flow.report import AreaRow
+from repro.soc.optimizer import DesignPoint, SocetOptimizer, design_space
+from repro.soc.plan import SocTestPlan, plan_soc_test
+from repro.soc.system import Soc
+
+
+@dataclass
+class SocetRun:
+    """All chip-level results for one SOC."""
+
+    soc: Soc
+    points: List[DesignPoint]
+    min_area_plan: SocTestPlan
+    min_tat_plan: SocTestPlan
+    baseline: FscanBscanReport
+
+    @property
+    def min_area_point(self) -> DesignPoint:
+        return self.points[0]
+
+    @property
+    def min_tat_point(self) -> DesignPoint:
+        return min(self.points, key=lambda p: (p.tat, p.chip_cells))
+
+    def hscan_cells(self) -> int:
+        """Core-level HSCAN area over all logic cores."""
+        total = 0
+        for core in self.soc.testable_cores():
+            plan = core.hscan if core.hscan is not None else insert_hscan(core.circuit)
+            total += plan.extra_area
+        return total
+
+    def area_rows(self) -> List[AreaRow]:
+        original = self.soc.total_functional_area()
+        rows = []
+        for variant, plan in (
+            ("Min. Area", self.min_area_plan),
+            ("Min. TApp.", self.min_tat_plan),
+        ):
+            rows.append(
+                AreaRow(
+                    system=self.soc.name,
+                    original_area=original,
+                    fscan_cells=self.baseline.fscan_cells,
+                    hscan_cells=self.hscan_cells(),
+                    bscan_cells=self.baseline.bscan_cells,
+                    socet_variant=variant,
+                    socet_chip_cells=plan.chip_dft_cells,
+                )
+            )
+        return rows
+
+
+def run_socet(soc: Soc) -> SocetRun:
+    """Sweep the design space and pick the paper's two extreme points."""
+    points = design_space(soc)
+    min_area = points[0]
+    min_tat = min(points, key=lambda p: (p.tat, p.chip_cells))
+    return SocetRun(
+        soc=soc,
+        points=points,
+        min_area_plan=min_area.plan,
+        min_tat_plan=min_tat.plan,
+        baseline=fscan_bscan_report(soc),
+    )
+
+
+def optimize_to_area(soc: Soc, max_chip_cells: int):
+    """Objective (i): best TAT within an area budget (returns plan, trajectory)."""
+    return SocetOptimizer(soc).minimize_tat(max_chip_cells)
+
+
+def optimize_to_tat(soc: Soc, max_tat_cycles: int):
+    """Objective (ii): least area meeting a TAT budget (returns plan, trajectory)."""
+    return SocetOptimizer(soc).minimize_area(max_tat_cycles)

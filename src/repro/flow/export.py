@@ -1,0 +1,87 @@
+"""JSON-serializable views of test plans and core versions.
+
+Downstream tooling (testers, documentation generators, dashboards)
+consumes plans as plain data; these converters flatten the planner's
+objects into dictionaries of primitives only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.soc.plan import SocTestPlan
+from repro.transparency.versions import CoreVersion
+
+
+def version_to_dict(version: CoreVersion) -> Dict[str, Any]:
+    """One transparency version as plain data."""
+    return {
+        "core": version.core,
+        "name": version.name,
+        "extra_cells": version.extra_cells,
+        "justify": {
+            f"{port}[{lo}+{width}]": path.latency
+            for (port, lo, width), path in sorted(version.justify_paths.items())
+        },
+        "propagate": {
+            port: path.latency for port, path in sorted(version.propagate_paths.items())
+        },
+        "added_muxes": [str(arc) for arc in version.added_muxes],
+        "freezes": sorted(
+            {
+                register
+                for path in list(version.justify_paths.values())
+                + list(version.propagate_paths.values())
+                for register, _ in path.freezes
+            }
+        ),
+    }
+
+
+def plan_to_dict(plan: SocTestPlan) -> Dict[str, Any]:
+    """A full SOC test plan as plain data."""
+    cores: List[Dict[str, Any]] = []
+    for name, core_plan in sorted(plan.core_plans.items()):
+        cores.append(
+            {
+                "core": name,
+                "version": plan.selection.get(name, 0) + 1,
+                "cadence": core_plan.cadence,
+                "scan_steps": core_plan.scan_steps,
+                "flush": core_plan.flush,
+                "tat": core_plan.tat,
+                "deliveries": [
+                    {
+                        "port": d.port,
+                        "latency": d.latency,
+                        "via_test_mux": d.via_test_mux,
+                    }
+                    for d in core_plan.deliveries
+                ],
+                "observations": [
+                    {
+                        "port": o.port,
+                        "lo": o.lo,
+                        "width": o.width,
+                        "latency": o.latency,
+                        "via_test_mux": o.via_test_mux,
+                    }
+                    for o in core_plan.observations
+                ],
+            }
+        )
+    return {
+        "soc": plan.soc.name,
+        "selection": {name: index + 1 for name, index in sorted(plan.selection.items())},
+        "total_tat": plan.total_tat,
+        "chip_dft_cells": plan.chip_dft_cells,
+        "version_cells": plan.version_cells,
+        "test_mux_cells": plan.test_mux_cells,
+        "controller_cells": plan.controller_cells,
+        "test_muxes": [str(mux) for mux in plan.test_muxes],
+        "cores": cores,
+        "versions": [
+            version_to_dict(core.version(plan.selection.get(core.name, 0)))
+            for core in plan.soc.testable_cores()
+        ],
+    }

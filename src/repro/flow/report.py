@@ -1,0 +1,102 @@
+"""Report rows mirroring the paper's tables, plus text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.util.tables import render_table
+
+
+@dataclass
+class AreaRow:
+    """One row of Table 2 (area overheads, in cells and percent)."""
+
+    system: str
+    original_area: int
+    fscan_cells: int
+    hscan_cells: int
+    bscan_cells: int
+    socet_variant: str  # "Min. Area" | "Min. TApp."
+    socet_chip_cells: int
+
+    @property
+    def fscan_percent(self) -> float:
+        return 100.0 * self.fscan_cells / self.original_area
+
+    @property
+    def hscan_percent(self) -> float:
+        return 100.0 * self.hscan_cells / self.original_area
+
+    @property
+    def bscan_percent(self) -> float:
+        return 100.0 * self.bscan_cells / self.original_area
+
+    @property
+    def socet_chip_percent(self) -> float:
+        return 100.0 * self.socet_chip_cells / self.original_area
+
+    @property
+    def fscan_bscan_total_percent(self) -> float:
+        return self.fscan_percent + self.bscan_percent
+
+    @property
+    def socet_total_percent(self) -> float:
+        """Core-level HSCAN + chip-level SOCET DFT."""
+        return self.hscan_percent + self.socet_chip_percent
+
+
+def render_area_table(rows: List[AreaRow]) -> str:
+    """Text table shaped like the paper's Table 2."""
+    headers = [
+        "Circuit",
+        "Orig.(cells)",
+        "FSCAN%",
+        "HSCAN%",
+        "BSCAN%",
+        "Chip type",
+        "SOCET%",
+        "FSCAN-BSCAN tot%",
+        "SOCET tot%",
+    ]
+    body = [
+        [
+            row.system,
+            row.original_area,
+            f"{row.fscan_percent:.1f}",
+            f"{row.hscan_percent:.1f}",
+            f"{row.bscan_percent:.1f}",
+            row.socet_variant,
+            f"{row.socet_chip_percent:.1f}",
+            f"{row.fscan_bscan_total_percent:.1f}",
+            f"{row.socet_total_percent:.1f}",
+        ]
+        for row in rows
+    ]
+    return render_table(headers, body, title="Table 2: area overheads")
+
+
+@dataclass
+class TestabilityRow:
+    """One row of Table 3 (coverage / efficiency / test time)."""
+
+    system: str
+    configuration: str  # "Orig." | "HSCAN" | "FSCAN-BSCAN" | "SOCET Min. Area" | ...
+    fault_coverage: float
+    test_efficiency: float
+    tat: Optional[int] = None
+
+
+def render_testability_table(rows: List[TestabilityRow]) -> str:
+    headers = ["Circuit", "Configuration", "FC(%)", "TEff(%)", "TApp(cycles)"]
+    body = [
+        [
+            row.system,
+            row.configuration,
+            f"{row.fault_coverage:.1f}",
+            f"{row.test_efficiency:.1f}",
+            "-" if row.tat is None else row.tat,
+        ]
+        for row in rows
+    ]
+    return render_table(headers, body, title="Table 3: testability results")

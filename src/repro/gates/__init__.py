@@ -1,0 +1,23 @@
+"""Gate-level substrate: cells, netlists, levelization, logic simulation.
+
+Everything downstream of RTL elaboration -- ATPG, fault simulation, and
+area accounting -- operates on the :class:`~repro.gates.netlist.GateNetlist`
+defined here.  The simulator packs many test patterns into Python integers
+(one word per net) for word-parallel evaluation.
+"""
+
+from repro.gates.cells import CELL_AREA, GateKind
+from repro.gates.netlist import Gate, GateNetlist
+from repro.gates.levelize import levelize
+from repro.gates.simulator import CombinationalSimulator
+from repro.gates.sequential import SequentialSimulator
+
+__all__ = [
+    "CELL_AREA",
+    "GateKind",
+    "Gate",
+    "GateNetlist",
+    "levelize",
+    "CombinationalSimulator",
+    "SequentialSimulator",
+]

@@ -1,0 +1,60 @@
+"""Topological levelization of the combinational part of a gate netlist."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import NetlistError
+from repro.gates.cells import GateKind
+from repro.gates.netlist import GateNetlist
+
+_SOURCE_KINDS = (
+    GateKind.INPUT,
+    GateKind.CONST0,
+    GateKind.CONST1,
+    GateKind.DFF,
+    GateKind.SDFF,
+)
+
+
+def levelize(netlist: GateNetlist) -> List[str]:
+    """Return gate names in evaluation order.
+
+    Sources (inputs, constants, flip-flop outputs) come first, then every
+    combinational gate after all of its fanins.  Raises
+    :class:`NetlistError` on a combinational cycle.
+    """
+    order: List[str] = []
+    pending: Dict[str, int] = {}
+    ready: List[str] = []
+
+    for gate in netlist.gates():
+        if gate.kind in _SOURCE_KINDS:
+            order.append(gate.name)
+        else:
+            # State elements do not gate their D-pin evaluation order.
+            pending[gate.name] = sum(
+                1 for source in gate.fanins if netlist.gate(source).kind not in _SOURCE_KINDS
+            )
+            if pending[gate.name] == 0:
+                ready.append(gate.name)
+
+    fanout = netlist.fanout_map()
+    resolved = 0
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        resolved += 1
+        for reader in fanout[name]:
+            if reader in pending:
+                pending[reader] -= 1
+                if pending[reader] == 0:
+                    ready.append(reader)
+                    del pending[reader]
+
+    unresolved = [name for name, count in pending.items() if count > 0]
+    if unresolved:
+        raise NetlistError(
+            f"combinational cycle involving {sorted(unresolved)[:5]} in {netlist.name!r}"
+        )
+    return order

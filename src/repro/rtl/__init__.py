@@ -1,0 +1,47 @@
+"""Register-transfer-level netlist model.
+
+This package provides the structural RTL representation the whole library
+operates on: input/output ports, registers, multiplexers, word-level
+operators, and constants, connected by slice/concatenation expressions.
+
+The model deliberately mirrors what the paper's algorithms consume:
+
+* *direct and multiplexer paths* between registers (the raw material for
+  HSCAN chains and transparency paths), and
+* *operators* (ALUs, comparators, ...) which are opaque for transparency
+  but are elaborated to gates for area/ATPG purposes.
+"""
+
+from repro.rtl.types import (
+    ComponentKind,
+    Concat,
+    Expr,
+    OpKind,
+    Slice,
+    expr_width,
+    slice_expr,
+)
+from repro.rtl.components import Component, Constant, Input, Mux, Operator, Output, Register
+from repro.rtl.circuit import RTLCircuit
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.validate import validate_circuit
+
+__all__ = [
+    "ComponentKind",
+    "Concat",
+    "Expr",
+    "OpKind",
+    "Slice",
+    "expr_width",
+    "slice_expr",
+    "Component",
+    "Constant",
+    "Input",
+    "Mux",
+    "Operator",
+    "Output",
+    "Register",
+    "RTLCircuit",
+    "CircuitBuilder",
+    "validate_circuit",
+]

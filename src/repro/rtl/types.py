@@ -1,0 +1,148 @@
+"""Core value types of the RTL model: slices, concatenations, enums.
+
+A *driver expression* (:data:`Expr`) describes where a register, output
+port, mux input, or operator operand gets its bits from.  It is either a
+:class:`Slice` of another component's output word, or a :class:`Concat`
+of such slices (LSB-first).  Keeping expressions this small makes the
+register-connectivity analysis (transparency, HSCAN) exact and cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class ComponentKind(enum.Enum):
+    """Discriminates the component classes stored in an :class:`RTLCircuit`."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    REGISTER = "register"
+    MUX = "mux"
+    OPERATOR = "operator"
+    CONSTANT = "constant"
+
+
+class OpKind(enum.Enum):
+    """Word-level combinational operators supported by elaboration.
+
+    These are opaque for transparency analysis (they lose information),
+    but are expanded into gate macros by :mod:`repro.elaborate`.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    INC = "inc"
+    DEC = "dec"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    EQ = "eq"  # 1-bit output
+    LT = "lt"  # 1-bit output, unsigned
+    SHL = "shl"  # shift left by constant 1
+    SHR = "shr"  # shift right by constant 1
+    DECODE = "decode"  # n-bit input -> 2^n one-hot output
+    REDUCE_OR = "reduce_or"  # 1-bit output
+    REDUCE_AND = "reduce_and"  # 1-bit output
+
+
+@dataclass(frozen=True)
+class Slice:
+    """A contiguous bit-slice ``[lo, lo+width)`` of component ``comp``'s output."""
+
+    comp: str
+    lo: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.width <= 0:
+            raise ValueError(f"invalid slice of {self.comp}: lo={self.lo} width={self.width}")
+
+    @property
+    def hi(self) -> int:
+        """Index one past the last bit of the slice."""
+        return self.lo + self.width
+
+    def sub(self, lo: int, width: int) -> "Slice":
+        """Return the sub-slice ``[lo, lo+width)`` relative to this slice."""
+        if lo < 0 or lo + width > self.width:
+            raise ValueError(f"sub-slice [{lo}, {lo + width}) outside width {self.width}")
+        return Slice(self.comp, self.lo + lo, width)
+
+    def __str__(self) -> str:
+        if self.width == 1:
+            return f"{self.comp}[{self.lo}]"
+        return f"{self.comp}[{self.hi - 1}:{self.lo}]"
+
+
+@dataclass(frozen=True)
+class Concat:
+    """LSB-first concatenation of slices; ``parts[0]`` holds the low bits."""
+
+    parts: Tuple[Slice, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("empty concatenation")
+
+    @property
+    def width(self) -> int:
+        return sum(part.width for part in self.parts)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(part) for part in reversed(self.parts)) + "}"
+
+
+Expr = Union[Slice, Concat]
+
+
+def expr_width(expr: Expr) -> int:
+    """Total bit width of a driver expression."""
+    if isinstance(expr, Slice):
+        return expr.width
+    return expr.width
+
+
+def expr_parts(expr: Expr) -> Tuple[Slice, ...]:
+    """The slices making up ``expr``, LSB-first."""
+    if isinstance(expr, Slice):
+        return (expr,)
+    return expr.parts
+
+
+def slice_expr(expr: Expr, lo: int, width: int) -> Expr:
+    """Take bits ``[lo, lo+width)`` out of a driver expression.
+
+    Slicing distributes over concatenation, so the result is again a
+    plain :data:`Expr`.
+    """
+    if lo < 0 or width <= 0 or lo + width > expr_width(expr):
+        raise ValueError(
+            f"slice [{lo}, {lo + width}) out of range for expression of width {expr_width(expr)}"
+        )
+    collected = []
+    offset = 0
+    need_lo, need_hi = lo, lo + width
+    for part in expr_parts(expr):
+        part_lo, part_hi = offset, offset + part.width
+        overlap_lo = max(need_lo, part_lo)
+        overlap_hi = min(need_hi, part_hi)
+        if overlap_lo < overlap_hi:
+            collected.append(part.sub(overlap_lo - part_lo, overlap_hi - overlap_lo))
+        offset = part_hi
+    if len(collected) == 1:
+        return collected[0]
+    return Concat(tuple(collected))
+
+
+def concat(*exprs: Expr) -> Expr:
+    """Concatenate expressions LSB-first into a single expression."""
+    parts = []
+    for expr in exprs:
+        parts.extend(expr_parts(expr))
+    if len(parts) == 1:
+        return parts[0]
+    return Concat(tuple(parts))

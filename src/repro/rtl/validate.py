@@ -1,0 +1,162 @@
+"""Structural validation of RTL circuits.
+
+Checks performed:
+
+* every referenced component exists;
+* driver/operand widths are consistent with component widths;
+* every output and register has a driver; mux selects are wide enough;
+* slices stay within the width of the component they slice;
+* the combinational subgraph (muxes, operators, output drivers) is
+  acyclic -- registers legally break cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import NetlistError
+from repro.rtl.circuit import RTLCircuit
+from repro.rtl.components import Component, Mux, Operator, Output, Register
+from repro.rtl.types import ComponentKind, Expr, OpKind, expr_parts, expr_width
+
+_COMPARISON_OPS = {OpKind.EQ, OpKind.LT, OpKind.REDUCE_OR, OpKind.REDUCE_AND}
+
+
+def _check_expr(circuit: RTLCircuit, owner: str, expr: Expr) -> None:
+    for part in expr_parts(expr):
+        if part.comp not in circuit:
+            raise NetlistError(f"{owner}: reference to unknown component {part.comp!r}")
+        referenced = circuit.get(part.comp)
+        if referenced.kind is ComponentKind.OUTPUT:
+            raise NetlistError(f"{owner}: output port {part.comp!r} cannot be read internally")
+        if part.hi > referenced.width:
+            raise NetlistError(
+                f"{owner}: slice {part} exceeds width {referenced.width} of {part.comp!r}"
+            )
+
+
+def _check_component(circuit: RTLCircuit, component: Component) -> None:
+    name = component.name
+    if isinstance(component, Output):
+        if component.driver is None:
+            raise NetlistError(f"output {name!r} has no driver")
+        _check_expr(circuit, name, component.driver)
+        if expr_width(component.driver) != component.width:
+            raise NetlistError(
+                f"output {name!r}: driver width {expr_width(component.driver)} != {component.width}"
+            )
+    elif isinstance(component, Register):
+        if component.driver is None:
+            raise NetlistError(f"register {name!r} has no driver")
+        _check_expr(circuit, name, component.driver)
+        if expr_width(component.driver) != component.width:
+            raise NetlistError(
+                f"register {name!r}: driver width {expr_width(component.driver)} != {component.width}"
+            )
+        if component.enable is not None:
+            _check_expr(circuit, name, component.enable)
+            if expr_width(component.enable) != 1:
+                raise NetlistError(f"register {name!r}: enable must be 1 bit")
+        if component.reset_value is not None and component.reset_value >= (1 << component.width):
+            raise NetlistError(f"register {name!r}: reset value exceeds width")
+    elif isinstance(component, Mux):
+        if len(component.inputs) < 2:
+            raise NetlistError(f"mux {name!r} needs at least 2 inputs")
+        for index, expr in enumerate(component.inputs):
+            _check_expr(circuit, f"{name}.in{index}", expr)
+            if expr_width(expr) != component.width:
+                raise NetlistError(
+                    f"mux {name!r} input {index}: width {expr_width(expr)} != {component.width}"
+                )
+        if component.select is None:
+            raise NetlistError(f"mux {name!r} has no select")
+        _check_expr(circuit, f"{name}.select", component.select)
+        if expr_width(component.select) < component.select_width:
+            raise NetlistError(
+                f"mux {name!r}: select width {expr_width(component.select)} cannot address "
+                f"{len(component.inputs)} inputs"
+            )
+    elif isinstance(component, Operator):
+        for index, expr in enumerate(component.operands):
+            _check_expr(circuit, f"{name}.op{index}", expr)
+        _check_operator_shape(component)
+
+
+def _check_operator_shape(op: Operator) -> None:
+    arity = len(op.operands)
+    widths = [expr_width(e) for e in op.operands]
+    if op.op in (OpKind.NOT, OpKind.INC, OpKind.DEC, OpKind.SHL, OpKind.SHR):
+        if arity != 1:
+            raise NetlistError(f"operator {op.name!r} ({op.op.value}) needs 1 operand")
+        if op.width != widths[0]:
+            raise NetlistError(f"operator {op.name!r}: output width must equal operand width")
+    elif op.op in (OpKind.REDUCE_OR, OpKind.REDUCE_AND):
+        if arity != 1 or op.width != 1:
+            raise NetlistError(f"operator {op.name!r} ({op.op.value}) is unary with 1-bit output")
+    elif op.op is OpKind.DECODE:
+        if arity != 1 or op.width != (1 << widths[0]):
+            raise NetlistError(f"operator {op.name!r}: decode output must be 2^input wide")
+    elif op.op in (OpKind.EQ, OpKind.LT):
+        if arity != 2 or widths[0] != widths[1] or op.width != 1:
+            raise NetlistError(f"operator {op.name!r} ({op.op.value}) compares equal widths to 1 bit")
+    else:  # ADD, SUB, AND, OR, XOR
+        if arity != 2 or widths[0] != widths[1]:
+            raise NetlistError(f"operator {op.name!r} ({op.op.value}) needs 2 equal-width operands")
+        if op.width != widths[0]:
+            raise NetlistError(f"operator {op.name!r}: output width must equal operand width")
+
+
+def _check_acyclic(circuit: RTLCircuit) -> None:
+    """Depth-first cycle check over the combinational components only."""
+    combinational = {
+        c.name
+        for c in circuit.components()
+        if c.kind in (ComponentKind.MUX, ComponentKind.OPERATOR, ComponentKind.OUTPUT)
+    }
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {name: WHITE for name in combinational}
+
+    def fanin(name: str) -> List[str]:
+        return [
+            source
+            for source in circuit.fanin_names(circuit.get(name))
+            if source in combinational
+        ]
+
+    for start in combinational:
+        if color[start] is not WHITE:
+            continue
+        stack: List[tuple] = [(start, iter(fanin(start)))]
+        color[start] = GREY
+        while stack:
+            node, iterator = stack[-1]
+            advanced = False
+            for source in iterator:
+                if color[source] == GREY:
+                    raise NetlistError(
+                        f"combinational cycle through {source!r} in circuit {circuit.name!r}"
+                    )
+                if color[source] == WHITE:
+                    color[source] = GREY
+                    stack.append((source, iter(fanin(source))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+
+
+def validate_circuit(circuit: RTLCircuit) -> RTLCircuit:
+    """Run all structural checks; returns the circuit for chaining."""
+    if not circuit.inputs:
+        raise NetlistError(f"circuit {circuit.name!r} has no inputs")
+    if not circuit.outputs:
+        raise NetlistError(f"circuit {circuit.name!r} has no outputs")
+    for component in circuit.components():
+        _check_component(circuit, component)
+    if circuit.reset_net is not None:
+        reset = circuit.get(circuit.reset_net)
+        if reset.kind is not ComponentKind.INPUT or reset.width != 1:
+            raise NetlistError(f"reset net {circuit.reset_net!r} must be a 1-bit input")
+    _check_acyclic(circuit)
+    return circuit

@@ -1,0 +1,94 @@
+"""Test-controller synthesis (the paper's small FSM + clock gating).
+
+The methodology requires each core to be independently clock-gated and
+the transparency/scan mode selects to be driven during test.  We
+synthesize a controller specification -- the control signals, a cycle
+counter, and the per-core phase schedule -- and estimate its area so the
+chip-level DFT accounting includes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.soc.plan import CoreTestPlan, SocTestPlan
+
+#: cells per controlled signal (driver flop + gate)
+_CELLS_PER_SIGNAL = 2
+#: cells per counter bit
+_CELLS_PER_COUNTER_BIT = 5
+#: fixed FSM decode glue
+_CELLS_FSM_BASE = 10
+
+
+@dataclass
+class ControlSignal:
+    """One signal the controller drives during test."""
+
+    name: str
+    purpose: str  # "clock-gate" | "scan-enable" | "mux-select" | "test-mux"
+
+
+@dataclass
+class TestController:
+    """Synthesized controller specification."""
+
+    signals: List[ControlSignal] = field(default_factory=list)
+    counter_bits: int = 0
+    phase_count: int = 0
+
+    @property
+    def area(self) -> int:
+        return (
+            _CELLS_PER_SIGNAL * len(self.signals)
+            + _CELLS_PER_COUNTER_BIT * self.counter_bits
+            + _CELLS_FSM_BASE
+        )
+
+
+def synthesize_controller(plan: "SocTestPlan") -> TestController:
+    """Derive the controller for a finished SOC test plan."""
+    signals: List[ControlSignal] = []
+    mux_selects: Dict[Tuple[str, str], None] = {}
+
+    for core in plan.soc.testable_cores():
+        signals.append(ControlSignal(f"tctrl_clk_{core.name}", "clock-gate"))
+        signals.append(ControlSignal(f"tctrl_se_{core.name}", "scan-enable"))
+        version = core.version(plan.selection.get(core.name, 0))
+        for path in list(version.justify_paths.values()) + list(
+            version.propagate_paths.values()
+        ):
+            for key in path.arcs_used:
+                source, dest, mux_path = key
+                for mux_name, _ in mux_path:
+                    mux_selects.setdefault((core.name, mux_name), None)
+    for core_name, mux_name in sorted(mux_selects):
+        signals.append(ControlSignal(f"tctrl_sel_{core_name}_{mux_name}", "mux-select"))
+    for index, _ in enumerate(plan.test_muxes):
+        signals.append(ControlSignal(f"tctrl_tmux_{index}", "test-mux"))
+
+    total_tat = max(plan.total_tat, 1)
+    counter_bits = max(1, (total_tat).bit_length())
+    phase_count = 3 * max(1, len(plan.core_plans))  # deliver / shift / flush per core
+    return TestController(signals=signals, counter_bits=counter_bits, phase_count=phase_count)
+
+
+def estimate_controller_area(plan: "SocTestPlan") -> int:
+    """Area of the synthesized controller in cells."""
+    return synthesize_controller(plan).area
+
+
+def clock_enable_trace(core_plan: "CoreTestPlan") -> Iterator[bool]:
+    """Per-cycle scan-clock enable for the core under test.
+
+    The scan clock fires once every ``cadence`` cycles (when fresh data
+    has arrived at the core inputs), then free-runs for the flush.
+    Yields exactly ``core_plan.tat`` booleans.
+    """
+    cadence = max(1, core_plan.cadence)
+    for cycle in range(core_plan.scan_steps * cadence):
+        yield (cycle + 1) % cadence == 0
+    for _ in range(core_plan.flush):
+        yield True

@@ -1,0 +1,33 @@
+"""Deterministic unique-name generation for synthesized test structures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+
+class NameGenerator:
+    """Produces unique names with a given prefix, avoiding reserved names.
+
+    Used by DFT insertion and elaboration so that synthesized cells (scan
+    muxes, freeze gates, test controllers) get stable, readable names that
+    never collide with user-defined ones.
+    """
+
+    def __init__(self, reserved: Iterable[str] = ()) -> None:
+        self._reserved: Set[str] = set(reserved)
+        self._counters: Dict[str, int] = {}
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken so it is never generated."""
+        self._reserved.add(name)
+
+    def fresh(self, prefix: str) -> str:
+        """Return a new unique name of the form ``prefix_<n>``."""
+        counter = self._counters.get(prefix, 0)
+        while True:
+            candidate = f"{prefix}_{counter}"
+            counter += 1
+            if candidate not in self._reserved:
+                self._counters[prefix] = counter
+                self._reserved.add(candidate)
+                return candidate

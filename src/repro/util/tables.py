@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment reports and benches.
+
+The benchmark harnesses print the same rows the paper's tables report;
+this renderer keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a monospace table with a header rule.
+
+    ``rows`` cells are stringified with ``str``; numeric cells are
+    right-aligned, text cells left-aligned.
+    """
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for index, row in enumerate(text_rows):
+        if len(row) != columns:
+            raise ValueError(f"row {index} has {len(row)} cells, expected {columns}")
+
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    numeric = [True] * columns
+    for row_index, row in enumerate(rows):
+        for column, cell in enumerate(row):
+            if not isinstance(cell, (int, float)):
+                numeric[column] = False
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for column, cell in enumerate(cells):
+            if numeric[column]:
+                parts.append(cell.rjust(widths[column]))
+            else:
+                parts.append(cell.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Tests for the memory BIST substrate: behavioral RAM, March tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bist import (
+    MARCH_C_MINUS,
+    MARCH_X,
+    MARCH_Y,
+    BehavioralMemory,
+    CellStuckAt,
+    InversionCoupling,
+    plan_memory_bist,
+    run_march,
+)
+from repro.bist.march import grade_march
+from repro.bist.memory import all_stuck_at_faults, neighbour_coupling_faults
+
+
+class TestBehavioralMemory:
+    def test_read_write(self):
+        memory = BehavioralMemory(16, 8)
+        memory.write(3, 0xA5)
+        assert memory.read(3) == 0xA5
+        assert memory.read(4) == 0
+
+    def test_address_bounds(self):
+        memory = BehavioralMemory(16, 8)
+        with pytest.raises(IndexError):
+            memory.read(16)
+        with pytest.raises(IndexError):
+            memory.write(-1, 0)
+
+    def test_stuck_at_fault(self):
+        memory = BehavioralMemory(16, 8, fault=CellStuckAt(5, 2, 1))
+        memory.write(5, 0)
+        assert memory.read(5) == 0b100
+
+    def test_coupling_fault(self):
+        fault = InversionCoupling(2, 0, 3, 0)
+        memory = BehavioralMemory(16, 8, fault=fault)
+        memory.write(3, 0)
+        memory.write(2, 1)  # aggressor bit transitions -> victim flips
+        assert memory.read(3) & 1 == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BehavioralMemory(0, 8)
+
+    @given(address=st.integers(0, 15), value=st.integers(0, 255))
+    @settings(max_examples=25, deadline=None)
+    def test_fault_free_memory_is_faithful(self, address, value):
+        memory = BehavioralMemory(16, 8)
+        memory.write(address, value)
+        assert memory.read(address) == value
+
+
+class TestMarchTests:
+    def test_fault_free_memory_passes(self):
+        for test in (MARCH_C_MINUS, MARCH_X, MARCH_Y):
+            assert run_march(test, BehavioralMemory(32, 8)) is None
+
+    def test_march_c_detects_all_stuck_ats(self):
+        faults = all_stuck_at_faults(16, 4)
+        detected, undetected = grade_march(MARCH_C_MINUS, 16, 4, faults)
+        assert not undetected
+
+    def test_march_c_detects_neighbour_couplings(self):
+        faults = neighbour_coupling_faults(8, 2)
+        detected, undetected = grade_march(MARCH_C_MINUS, 8, 2, faults)
+        assert not undetected
+
+    def test_march_x_weaker_than_c(self):
+        faults = neighbour_coupling_faults(8, 2)
+        x_detected, _ = grade_march(MARCH_X, 8, 2, faults)
+        c_detected, _ = grade_march(MARCH_C_MINUS, 8, 2, faults)
+        assert x_detected <= c_detected
+
+    def test_cycle_counts(self):
+        assert MARCH_C_MINUS.operations_per_word == 10
+        assert MARCH_C_MINUS.cycle_count(4096) == 40960
+        assert MARCH_X.operations_per_word == 6
+        assert MARCH_Y.operations_per_word == 8
+
+    def test_element_str(self):
+        assert str(MARCH_C_MINUS.elements[1]) == "U(r0, w1)"
+
+
+class TestBistPlanning:
+    def test_plan_for_system1(self):
+        from repro.designs import build_system1
+
+        plan = plan_memory_bist(build_system1())
+        assert {row.core for row in plan.rows} == {"RAM", "ROM"}
+        assert plan.total_cycles == 2 * MARCH_C_MINUS.cycle_count(4096)
+        assert plan.total_cells > 0
+
+    def test_no_memories_no_cells(self):
+        from repro.designs import build_system2
+
+        plan = plan_memory_bist(build_system2())
+        assert not plan.rows
+        assert plan.total_cells == 0

@@ -1,0 +1,87 @@
+"""Tests for RTL expression types: slices, concatenation, slicing algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtl.types import Concat, Slice, concat, expr_width, slice_expr
+
+
+class TestSlice:
+    def test_basic_fields(self):
+        s = Slice("R", 2, 4)
+        assert s.hi == 6
+        assert s.width == 4
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Slice("R", 0, 0)
+
+    def test_rejects_negative_lo(self):
+        with pytest.raises(ValueError):
+            Slice("R", -1, 2)
+
+    def test_sub(self):
+        s = Slice("R", 2, 4)
+        assert s.sub(1, 2) == Slice("R", 3, 2)
+
+    def test_sub_out_of_range(self):
+        with pytest.raises(ValueError):
+            Slice("R", 0, 4).sub(2, 3)
+
+    def test_str_single_bit(self):
+        assert str(Slice("R", 3, 1)) == "R[3]"
+
+    def test_str_range(self):
+        assert str(Slice("R", 0, 8)) == "R[7:0]"
+
+
+class TestConcat:
+    def test_width_sums(self):
+        c = Concat((Slice("A", 0, 3), Slice("B", 0, 5)))
+        assert c.width == 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Concat(())
+
+    def test_concat_flattens(self):
+        c = concat(Slice("A", 0, 2), Concat((Slice("B", 0, 1), Slice("C", 0, 1))))
+        assert expr_width(c) == 4
+        assert isinstance(c, Concat)
+        assert len(c.parts) == 3
+
+    def test_concat_single_returns_slice(self):
+        s = concat(Slice("A", 0, 2))
+        assert isinstance(s, Slice)
+
+
+class TestSliceExpr:
+    def test_slice_of_slice(self):
+        assert slice_expr(Slice("A", 4, 8), 2, 3) == Slice("A", 6, 3)
+
+    def test_slice_of_concat_within_one_part(self):
+        expr = Concat((Slice("A", 0, 4), Slice("B", 0, 4)))
+        assert slice_expr(expr, 5, 2) == Slice("B", 1, 2)
+
+    def test_slice_of_concat_across_parts(self):
+        expr = Concat((Slice("A", 0, 4), Slice("B", 0, 4)))
+        result = slice_expr(expr, 2, 4)
+        assert isinstance(result, Concat)
+        assert result.parts == (Slice("A", 2, 2), Slice("B", 0, 2))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            slice_expr(Slice("A", 0, 4), 2, 4)
+
+    @given(
+        lo=st.integers(min_value=0, max_value=11),
+        width=st.integers(min_value=1, max_value=12),
+    )
+    def test_slice_width_property(self, lo, width):
+        expr = Concat((Slice("A", 0, 4), Slice("B", 2, 5), Slice("C", 1, 3)))
+        if lo + width > expr_width(expr):
+            with pytest.raises(ValueError):
+                slice_expr(expr, lo, width)
+        else:
+            assert expr_width(slice_expr(expr, lo, width)) == width
