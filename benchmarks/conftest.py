@@ -48,6 +48,26 @@ def system2():
     return build_system2()
 
 
+@pytest.fixture(scope="session")
+def system3():
+    from repro.designs import build_system3
+
+    return build_system3()
+
+
+@pytest.fixture(scope="session")
+def system4():
+    from repro.designs import build_system4
+
+    return build_system4()
+
+
+@pytest.fixture(scope="session")
+def all_systems(system1, system2, system3, system4):
+    """The registered designs, in registry order."""
+    return [system1, system2, system3, system4]
+
+
 def write_result(results_dir: Path, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")

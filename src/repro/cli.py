@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro plan System1 -s CPU=3     # ...with the CPU at Version 3
     python -m repro sweep System1             # Figure 10's design space
     python -m repro compare System2           # SOCET vs FSCAN-BSCAN summary
+    python -m repro schedule System3          # concurrent-session schedule
+    python -m repro schedule System4 -p 80    # ...under a scan-power budget
 """
 
 from __future__ import annotations
@@ -129,15 +131,46 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    from repro.flow import render_area_table, run_socet
+    from repro.flow import render_area_table, render_schedule_table, run_socet
 
     soc = _build_system(args.system)
     run = run_socet(soc)
     print(render_area_table(run.area_rows()))
+    print()
+    print(render_schedule_table(run.schedule_rows()))
     ratio = run.baseline.total_tat / max(1, run.min_tat_plan.total_tat)
     print(f"\nFSCAN-BSCAN: {run.baseline.total_tat} cycles; "
           f"SOCET: {run.min_area_plan.total_tat} (min area) / "
           f"{run.min_tat_plan.total_tat} (min TApp) -- {ratio:.1f}x faster")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from repro.errors import ScheduleError
+    from repro.flow import render_session_table
+    from repro.schedule import render_gantt
+    from repro.soc import plan_soc_test
+
+    soc = _build_system(args.system)
+    selection = _parse_selection(soc, args.select)
+    plan = plan_soc_test(soc, selection)
+    try:
+        schedule = plan.schedule(
+            algorithm=args.algorithm,
+            power_budget=args.power_budget,
+            include_bist=args.bist,
+        )
+    except ScheduleError as error:
+        raise SystemExit(f"scheduling failed: {error}")
+    print(render_gantt(schedule))
+    print()
+    print(render_session_table(schedule))
+    print(f"\nserial TAT: {schedule.serial_tat} cycles; "
+          f"scheduled TAT: {schedule.makespan} cycles "
+          f"({schedule.speedup:.2f}x, {len(schedule.sessions())} sessions)")
+    if args.power_budget is not None:
+        print(f"peak scan activity: {schedule.peak_activity} FFs "
+              f"(budget {args.power_budget})")
     return 0
 
 
@@ -186,6 +219,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare = sub.add_parser("compare", help="SOCET vs FSCAN-BSCAN")
     p_compare.add_argument("system")
     p_compare.set_defaults(func=cmd_compare)
+
+    p_schedule = sub.add_parser("schedule", help="concurrent test-session schedule")
+    p_schedule.add_argument("system")
+    p_schedule.add_argument("-s", "--select", help="version selection, e.g. CPU=3")
+    p_schedule.add_argument(
+        "-a", "--algorithm", default="greedy", choices=["greedy", "sessions"],
+        help="scheduler: greedy list (default) or session packer",
+    )
+    p_schedule.add_argument(
+        "-p", "--power-budget", type=int,
+        help="max concurrent scan activity (flip-flops)",
+    )
+    p_schedule.add_argument(
+        "--bist", action="store_true",
+        help="schedule memory-BIST sessions alongside the logic tests",
+    )
+    p_schedule.set_defaults(func=cmd_schedule)
 
     p_export = sub.add_parser("export", help="export a test plan as JSON")
     p_export.add_argument("system")

@@ -18,6 +18,8 @@ from repro.designs.graphics import build_graphics
 from repro.designs.x25 import build_x25
 from repro.designs.barcode import build_system1
 from repro.designs.system2 import build_system2
+from repro.designs.system3 import build_system3
+from repro.designs.system4 import build_system4
 from repro.designs.registry import core_builders, system_builders
 
 __all__ = [
@@ -31,6 +33,8 @@ __all__ = [
     "build_x25",
     "build_system1",
     "build_system2",
+    "build_system3",
+    "build_system4",
     "core_builders",
     "system_builders",
 ]

@@ -28,8 +28,19 @@ def core_builders() -> Dict[str, Callable]:
 
 
 def system_builders() -> Dict[str, Callable]:
-    """Builders for the two example systems."""
+    """Builders for the example systems.
+
+    System1/System2 reproduce the paper's chips; System3/System4 add
+    parallel topologies for the concurrent test-session scheduler.
+    """
     from repro.designs.barcode import build_system1
     from repro.designs.system2 import build_system2
+    from repro.designs.system3 import build_system3
+    from repro.designs.system4 import build_system4
 
-    return {"System1": build_system1, "System2": build_system2}
+    return {
+        "System1": build_system1,
+        "System2": build_system2,
+        "System3": build_system3,
+        "System4": build_system4,
+    }

@@ -49,5 +49,9 @@ class InfeasibleConstraintError(SocError):
     """The optimizer cannot satisfy the user's area/TAT constraint."""
 
 
+class ScheduleError(SocError):
+    """A concurrent test schedule violates a resource or power constraint."""
+
+
 class BistError(ReproError):
     """Memory BIST configuration or execution problem."""

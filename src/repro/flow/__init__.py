@@ -20,7 +20,15 @@ from repro.flow.interconnect import (
     bus_interconnect_report,
     interconnect_report,
 )
-from repro.flow.report import AreaRow, TestabilityRow, render_area_table, render_testability_table
+from repro.flow.report import (
+    AreaRow,
+    ScheduleRow,
+    TestabilityRow,
+    render_area_table,
+    render_schedule_table,
+    render_session_table,
+    render_testability_table,
+)
 
 __all__ = [
     "CorePreparation",
@@ -34,7 +42,10 @@ __all__ = [
     "interconnect_report",
     "bus_interconnect_report",
     "AreaRow",
+    "ScheduleRow",
     "TestabilityRow",
     "render_area_table",
+    "render_schedule_table",
+    "render_session_table",
     "render_testability_table",
 ]

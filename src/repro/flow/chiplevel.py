@@ -12,7 +12,8 @@ from typing import List, Optional
 
 from repro.baselines.fscan_bscan import FscanBscanReport, fscan_bscan_report
 from repro.dft.hscan import insert_hscan
-from repro.flow.report import AreaRow
+from repro.flow.report import AreaRow, ScheduleRow
+from repro.schedule import TestSchedule
 from repro.soc.optimizer import DesignPoint, SocetOptimizer, design_space
 from repro.soc.plan import SocTestPlan, plan_soc_test
 from repro.soc.system import Soc
@@ -27,14 +28,39 @@ class SocetRun:
     min_area_plan: SocTestPlan
     min_tat_plan: SocTestPlan
     baseline: FscanBscanReport
+    #: concurrent-session schedules of the two extreme plans (greedy)
+    min_area_schedule: Optional[TestSchedule] = None
+    min_tat_schedule: Optional[TestSchedule] = None
 
     @property
     def min_area_point(self) -> DesignPoint:
-        return self.points[0]
+        # select explicitly rather than trusting design_space's sort order
+        return min(self.points, key=lambda p: (p.chip_cells, p.tat))
 
     @property
     def min_tat_point(self) -> DesignPoint:
         return min(self.points, key=lambda p: (p.tat, p.chip_cells))
+
+    def schedule_rows(self) -> List[ScheduleRow]:
+        """Serial vs scheduled TAT for both extreme plans."""
+        rows = []
+        for variant, plan, schedule in (
+            ("Min. Area", self.min_area_plan, self.min_area_schedule),
+            ("Min. TApp.", self.min_tat_plan, self.min_tat_schedule),
+        ):
+            if schedule is None:
+                schedule = plan.schedule()
+            rows.append(
+                ScheduleRow(
+                    system=self.soc.name,
+                    variant=variant,
+                    algorithm=schedule.algorithm,
+                    serial_tat=plan.total_tat,
+                    scheduled_tat=schedule.makespan,
+                    sessions=len(schedule.sessions()),
+                )
+            )
+        return rows
 
     def hscan_cells(self) -> int:
         """Core-level HSCAN area over all logic cores."""
@@ -68,7 +94,7 @@ class SocetRun:
 def run_socet(soc: Soc) -> SocetRun:
     """Sweep the design space and pick the paper's two extreme points."""
     points = design_space(soc)
-    min_area = points[0]
+    min_area = min(points, key=lambda p: (p.chip_cells, p.tat))
     min_tat = min(points, key=lambda p: (p.tat, p.chip_cells))
     return SocetRun(
         soc=soc,
@@ -76,6 +102,8 @@ def run_socet(soc: Soc) -> SocetRun:
         min_area_plan=min_area.plan,
         min_tat_plan=min_tat.plan,
         baseline=fscan_bscan_report(soc),
+        min_area_schedule=min_area.plan.schedule(),
+        min_tat_schedule=min_tat.plan.schedule(),
     )
 
 

@@ -77,6 +77,69 @@ def render_area_table(rows: List[AreaRow]) -> str:
 
 
 @dataclass
+class ScheduleRow:
+    """Serial vs concurrent-session TAT for one plan variant."""
+
+    system: str
+    variant: str  # "Min. Area" | "Min. TApp." | "-"
+    algorithm: str
+    serial_tat: int
+    scheduled_tat: int
+    sessions: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_tat / self.scheduled_tat if self.scheduled_tat else 1.0
+
+
+def render_schedule_table(rows: List[ScheduleRow]) -> str:
+    """Serial vs scheduled TAT side by side (beyond the paper's tables)."""
+    headers = [
+        "Circuit",
+        "Chip type",
+        "Scheduler",
+        "Serial TApp",
+        "Scheduled TApp",
+        "Sessions",
+        "Speedup",
+    ]
+    body = [
+        [
+            row.system,
+            row.variant,
+            row.algorithm,
+            row.serial_tat,
+            row.scheduled_tat,
+            row.sessions,
+            f"{row.speedup:.2f}x",
+        ]
+        for row in rows
+    ]
+    return render_table(headers, body, title="Concurrent test-session scheduling")
+
+
+def render_session_table(schedule) -> str:
+    """Per-session utilization breakdown of one TestSchedule."""
+    headers = ["Session", "Start", "End", "Length", "Cores", "Utilization"]
+    body = [
+        [
+            session.index,
+            session.start,
+            session.end,
+            session.length,
+            ", ".join(sorted(e.core for e in session.entries)),
+            f"{session.utilization:.2f}",
+        ]
+        for session in schedule.sessions()
+    ]
+    return render_table(
+        headers,
+        body,
+        title=f"{schedule.soc_name}: per-session utilization ({schedule.algorithm})",
+    )
+
+
+@dataclass
 class TestabilityRow:
     """One row of Table 3 (coverage / efficiency / test time)."""
 

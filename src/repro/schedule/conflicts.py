@@ -1,0 +1,205 @@
+"""Shared-resource conflict model for concurrent test sessions.
+
+The paper tests one core at a time; real SOC test integration overlaps
+core tests whenever they occupy disjoint test resources (Wu's DSC
+scheduling, Sehgal et al.'s session planning for wrapped cores).  For
+each core under test we derive the complete set of resources its test
+occupies while it runs:
+
+* the core under test itself (its scan chain and gated clock),
+* every *conduit* core whose transparency carries its stimuli or
+  responses (a core in transparency mode cannot be scan-tested),
+* every transparency transfer (``UsageKey``) those paths reserve,
+* the chip pins that source its stimuli and sink its responses
+  (one ATE channel cannot drive two different cores' data at once),
+* the system-level test muxes giving it direct pin access, and
+* the shared memory-BIST controller, for memory-core sessions.
+
+Two tests may overlap in time iff their resource sets are disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.soc.plan import CoreTestPlan, SocTestPlan
+
+#: a schedulable resource; the first element names its kind:
+#: ("core", name) | ("xfer", core, kind, key) | ("pin", dir, name)
+#: | ("tmux", kind, core, port, lo, width) | ("bist", "controller")
+Resource = Tuple
+
+
+@dataclass(frozen=True)
+class TestItem:
+    """One schedulable unit of the chip test (a core's full test)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    core: str
+    duration: int
+    resources: FrozenSet[Resource]
+    #: concurrent scan activity (flip-flops toggling while this runs)
+    activity: int = 0
+    kind: str = "logic"  # "logic" | "bist"
+
+    def conflicts_with(self, other: "TestItem") -> bool:
+        return bool(self.resources & other.resources)
+
+
+# ----------------------------------------------------------------------
+# chip-pin cone traversal
+# ----------------------------------------------------------------------
+class _PinTracer:
+    """Walk the interconnect to find the chip pins a core's test uses.
+
+    The walk mirrors the planner's traversal but only needs names: it
+    follows nets backward from the core-under-test inputs through the
+    conduit cores' justify paths to chip PIs, and forward from observed
+    output slices through propagate paths to chip POs.
+    """
+
+    def __init__(self, plan: SocTestPlan) -> None:
+        self.plan = plan
+        self.soc = plan.soc
+
+    def _version_of(self, core_name: str):
+        core = self.soc.cores[core_name]
+        return core.version(self.plan.selection.get(core_name, 0))
+
+    def input_pins(self, core_name: str, port: str, visited: FrozenSet) -> Set[str]:
+        """Chip PIs reachable backward from ``core_name.port``."""
+        key = (core_name, port)
+        if key in visited:
+            return set()
+        visited = visited | {key}
+        pins: Set[str] = set()
+        for net in self.soc.drivers_of(core_name, port):
+            if net.source.core is None:
+                pins.add(net.source.port)
+                continue
+            upstream = self.soc.cores.get(net.source.core)
+            if upstream is None or upstream.is_memory:
+                continue
+            pins |= self._justify_pins(
+                net.source.core, net.source.port, net.source.lo, net.source.width, visited
+            )
+        return pins
+
+    def _justify_pins(
+        self, core_name: str, port: str, lo: int, width: int, visited: FrozenSet
+    ) -> Set[str]:
+        version = self._version_of(core_name)
+        keys = [
+            k
+            for k in version.justify_paths
+            if k[0] == port and k[1] < lo + width and lo < k[1] + k[2]
+        ]
+        pins: Set[str] = set()
+        for k in keys:
+            for terminal_port in version.justify_paths[k].terminal_ports:
+                pins |= self.input_pins(core_name, terminal_port, visited)
+        return pins
+
+    def output_pins(
+        self, core_name: str, port: str, lo: int, width: int, visited: FrozenSet
+    ) -> Set[str]:
+        """Chip POs reachable forward from ``core_name.port[lo+width]``."""
+        key = (core_name, port, lo, width)
+        if key in visited:
+            return set()
+        visited = visited | {key}
+        pins: Set[str] = set()
+        for net in self.soc.readers_of(core_name, port):
+            if net.source.lo >= lo + width or lo >= net.source.hi:
+                continue
+            if net.dest.core is None:
+                pins.add(net.dest.port)
+                continue
+            downstream = self.soc.cores.get(net.dest.core)
+            if downstream is None or downstream.is_memory:
+                continue
+            version = self._version_of(net.dest.core)
+            path = version.propagate_paths.get(net.dest.port)
+            if path is None:
+                continue
+            for terminal in path.terminals:
+                pins |= self.output_pins(
+                    net.dest.core, terminal.comp, terminal.lo, terminal.width, visited
+                )
+        return pins
+
+
+# ----------------------------------------------------------------------
+def resource_set(plan: SocTestPlan, core_plan: CoreTestPlan) -> FrozenSet[Resource]:
+    """Every resource ``core_plan``'s test occupies while it runs."""
+    resources: Set[Resource] = {("core", core_plan.core)}
+    for (conduit, kind, key) in core_plan.all_usages():
+        resources.add(("core", conduit))
+        resources.add(("xfer", conduit, kind, key))
+    tracer = _PinTracer(plan)
+    for delivery in core_plan.deliveries:
+        if delivery.via_test_mux:
+            width = plan.soc.cores[core_plan.core].port_width(delivery.port)
+            resources.add(("tmux", "input", core_plan.core, delivery.port, 0, width))
+            continue
+        for pin in tracer.input_pins(core_plan.core, delivery.port, frozenset()):
+            resources.add(("pin", "in", pin))
+    for observation in core_plan.observations:
+        if observation.via_test_mux:
+            resources.add(
+                ("tmux", "output", core_plan.core, observation.port,
+                 observation.lo, observation.width)
+            )
+            continue
+        for pin in tracer.output_pins(
+            core_plan.core, observation.port, observation.lo, observation.width, frozenset()
+        ):
+            resources.add(("pin", "out", pin))
+    return frozenset(resources)
+
+
+def build_test_items(plan: SocTestPlan, include_bist: bool = False) -> List[TestItem]:
+    """Schedulable items for a finished plan (optionally + memory BIST).
+
+    Memory-core BIST sessions share one BIST controller, so they
+    serialize against each other but overlap freely with any logic-core
+    test whose resources they don't touch.
+    """
+    items = [
+        TestItem(
+            core=core_plan.core,
+            duration=core_plan.tat,
+            resources=resource_set(plan, core_plan),
+            activity=plan.soc.cores[core_plan.core].flip_flops,
+        )
+        for core_plan in plan.core_plans.values()
+    ]
+    if include_bist:
+        from repro.bist.controller import plan_memory_bist
+
+        bist = plan_memory_bist(plan.soc)
+        for row in bist.rows:
+            items.append(
+                TestItem(
+                    core=row.core,
+                    duration=row.cycles,
+                    resources=frozenset(
+                        {("core", row.core), ("bist", "controller")}
+                    ),
+                    activity=row.width,
+                    kind="bist",
+                )
+            )
+    return items
+
+
+def conflict_pairs(items: List[TestItem]) -> List[Tuple[str, str]]:
+    """All pairs of items that may never overlap (sorted, deduped)."""
+    pairs = []
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            if a.conflicts_with(b):
+                pairs.append(tuple(sorted((a.core, b.core))))
+    return sorted(set(pairs))

@@ -141,6 +141,31 @@ class SocTestPlan:
         """Cores are tested one after another (independent clock gating)."""
         return sum(plan.tat for plan in self.core_plans.values())
 
+    def schedule(
+        self,
+        algorithm: str = "greedy",
+        power_budget: Optional[int] = None,
+        include_bist: bool = False,
+    ):
+        """Pack the core tests into concurrent sessions (a TestSchedule).
+
+        See :mod:`repro.schedule`; imported lazily because the scheduler
+        consumes finished plans.
+        """
+        from repro.schedule import schedule_plan
+
+        return schedule_plan(
+            self,
+            algorithm=algorithm,
+            power_budget=power_budget,
+            include_bist=include_bist,
+        )
+
+    @property
+    def scheduled_tat(self) -> int:
+        """TAT with concurrent sessions (greedy scheduler, no power cap)."""
+        return self.schedule().makespan
+
     @property
     def version_cells(self) -> int:
         return sum(

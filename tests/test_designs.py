@@ -139,7 +139,7 @@ class TestSystemAssembly:
 
     def test_registry_systems(self):
         builders = system_builders()
-        assert set(builders) == {"System1", "System2"}
+        assert set(builders) == {"System1", "System2", "System3", "System4"}
 
     def test_every_logic_core_has_versions(self):
         for soc_builder in (build_system1, build_system2):

@@ -1,0 +1,137 @@
+"""Edge-path tests for the SOCET optimizer and the chip-level run.
+
+Covers the ``minimize_area`` infeasible-budget error, the
+``minimize_tat`` no-improving-move early exit, the scheduled-makespan
+objective (``use_schedule=True``), and the explicit min-area point
+selection in :class:`SocetRun`.
+"""
+
+import pytest
+
+from repro.errors import InfeasibleConstraintError
+from repro.flow.chiplevel import SocetRun
+from repro.rtl import CircuitBuilder
+from repro.soc import Core, Soc, plan_soc_test
+from repro.soc.optimizer import DesignPoint, SocetOptimizer
+
+
+def passthrough_core(name, width=8, depth=1):
+    b = CircuitBuilder(name)
+    din = b.input("IN", width)
+    previous = din
+    for i in range(depth):
+        reg = b.register(f"R{i}", width)
+        b.drive(reg, previous)
+        previous = reg
+    b.output("OUT", previous)
+    return b.build()
+
+
+def parallel_soc(names=("A", "B", "C")):
+    """Independent pin-attached cores: nothing for the optimizer to fix."""
+    soc = Soc("parallel")
+    for name in names:
+        soc.add_core(Core.from_circuit(passthrough_core(name), test_vectors=8))
+        soc.add_input(f"PIN_{name}", 8)
+        soc.add_output(f"POUT_{name}", 8)
+        soc.wire(None, f"PIN_{name}", name, "IN")
+        soc.wire(name, "OUT", None, f"POUT_{name}")
+    return soc
+
+
+def chain_soc():
+    """PI -> A(depth 2) -> B(depth 1) -> PO: versions can still help."""
+    soc = Soc("duo")
+    soc.add_core(Core.from_circuit(passthrough_core("A", depth=2), test_vectors=10))
+    soc.add_core(Core.from_circuit(passthrough_core("B", depth=1), test_vectors=10))
+    soc.add_input("PIN", 8)
+    soc.add_output("POUT", 8)
+    soc.wire(None, "PIN", "A", "IN")
+    soc.wire("A", "OUT", "B", "IN")
+    soc.wire("B", "OUT", None, "POUT")
+    return soc
+
+
+class TestMinimizeAreaEdges:
+    def test_unreachable_tat_budget_raises_with_floor(self):
+        soc = parallel_soc()
+        plan = plan_soc_test(soc)
+        with pytest.raises(InfeasibleConstraintError, match="unreachable"):
+            SocetOptimizer(soc).minimize_area(plan.total_tat - 1)
+
+    def test_loose_budget_returns_min_area_immediately(self):
+        soc = parallel_soc()
+        plan = plan_soc_test(soc)
+        result, trajectory = SocetOptimizer(soc).minimize_area(plan.total_tat)
+        assert len(trajectory) == 1
+        assert result.selection == plan.selection
+
+
+class TestMinimizeTatEdges:
+    def test_no_improving_move_exits_early(self):
+        soc = parallel_soc()
+        result, trajectory = SocetOptimizer(soc).minimize_tat(max_chip_cells=10_000)
+        # all latencies are already 0: nothing to upgrade, nothing to mux
+        assert len(trajectory) == 1
+        assert result.total_tat == trajectory[0].tat
+
+    def test_escalation_stops_at_budget(self):
+        soc = chain_soc()
+        baseline = plan_soc_test(soc)
+        plan, _ = SocetOptimizer(soc).minimize_tat(max_chip_cells=baseline.chip_dft_cells)
+        assert plan.chip_dft_cells <= baseline.chip_dft_cells
+        assert plan.total_tat <= baseline.total_tat
+
+
+class TestScheduledObjective:
+    def test_makespan_budget_feasible_only_with_schedule(self):
+        soc = parallel_soc()
+        plan = plan_soc_test(soc)
+        makespan = plan.scheduled_tat
+        assert makespan < plan.total_tat
+        # serial objective cannot reach the makespan budget...
+        with pytest.raises(InfeasibleConstraintError):
+            SocetOptimizer(soc).minimize_area(makespan)
+        # ...the scheduled objective meets it without any moves
+        result, trajectory = SocetOptimizer(soc, use_schedule=True).minimize_area(makespan)
+        assert len(trajectory) == 1
+        assert result.scheduled_tat <= makespan
+
+    def test_trajectory_records_makespan(self):
+        soc = parallel_soc()
+        optimizer = SocetOptimizer(soc, use_schedule=True)
+        plan, trajectory = optimizer.minimize_tat(max_chip_cells=10_000)
+        assert trajectory[-1].tat == plan.scheduled_tat
+
+    def test_serial_default_unchanged(self):
+        soc = chain_soc()
+        plan, trajectory = SocetOptimizer(soc).minimize_tat(max_chip_cells=10_000)
+        assert trajectory[-1].tat == plan.total_tat
+
+    def test_power_budget_threads_through(self):
+        soc = parallel_soc(names=("A", "B"))
+        activity = max(c.flip_flops for c in soc.testable_cores())
+        optimizer = SocetOptimizer(soc, use_schedule=True, power_budget=activity)
+        plan, trajectory = optimizer.minimize_tat(max_chip_cells=10_000)
+        # one core at a time fits the budget: objective equals the serial sum
+        assert trajectory[-1].tat == plan.total_tat
+
+
+class TestMinAreaPointSelection:
+    def _point(self, index, cells, tat):
+        return DesignPoint(index=index, selection={}, tat=tat, chip_cells=cells)
+
+    def test_min_area_point_ignores_list_order(self):
+        # deliberately NOT sorted by chip cells: the property must not
+        # rely on design_space's ordering
+        points = [
+            self._point(1, 300, 100),
+            self._point(2, 120, 900),
+            self._point(3, 120, 700),
+        ]
+        run = SocetRun(
+            soc=None, points=points, min_area_plan=None, min_tat_plan=None, baseline=None
+        )
+        assert run.min_area_point.chip_cells == 120
+        assert run.min_area_point.tat == 700  # ties broken by TAT
+        assert run.min_tat_point.tat == 100
