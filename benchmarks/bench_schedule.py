@@ -11,11 +11,14 @@ makespan drops.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
+from repro.obs import METRICS
 from repro.schedule import build_test_items, conflict_pairs
 from repro.soc import plan_soc_test
 from repro.util import render_table
+
+ROUNDS = 3
 
 
 def schedule_all(systems):
@@ -29,8 +32,33 @@ def schedule_all(systems):
     return results
 
 
+def _result_payload(results):
+    """The machine-readable half of the bench (goes into BENCH_*.json)."""
+    return {
+        soc.name: {
+            "cores": len(plan.core_plans),
+            "conflicts": len(conflicts),
+            "serial_tat": plan.total_tat,
+            "greedy_makespan": greedy.makespan,
+            "session_makespan": packed.makespan,
+            "sessions": len(greedy.sessions()),
+        }
+        for soc, plan, greedy, packed, conflicts in results
+    }
+
+
 def test_schedule_makespan(benchmark, all_systems, results_dir):
-    results = benchmark.pedantic(schedule_all, args=(all_systems,), rounds=3, iterations=1)
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
+    results = benchmark.pedantic(
+        schedule_all, args=(all_systems,), rounds=ROUNDS, iterations=1
+    )
+    write_bench_json(
+        results_dir, "schedule", benchmark, _result_payload(results), rounds=ROUNDS
+    )
+
+    # determinism regression: the builders are seed-pinned, so a second
+    # pass must reproduce every makespan bit-for-bit
+    assert _result_payload(schedule_all(all_systems)) == _result_payload(results)
 
     rows = []
     for soc, plan, greedy, packed, conflicts in results:

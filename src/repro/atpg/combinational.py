@@ -20,8 +20,14 @@ from repro.faults.model import Fault, full_fault_universe
 from repro.faults.simulator import FaultSimulator
 from repro.gates.cells import GateKind
 from repro.gates.netlist import GateNetlist
+from repro.obs import METRICS, profile_section
 
 Pattern = Dict[str, int]
+
+_RUNS = METRICS.counter("atpg.runs")
+_RANDOM_DETECTED = METRICS.counter("atpg.random.detected")
+_PODEM_DETECTED = METRICS.counter("atpg.podem.detected")
+_PATTERNS = METRICS.counter("atpg.patterns")
 
 
 @dataclass
@@ -63,6 +69,15 @@ class CombinationalAtpg:
     # ------------------------------------------------------------------
     def run(self, faults: Optional[Sequence[Fault]] = None) -> AtpgOutcome:
         """Generate a compacted pattern set covering the fault list."""
+        with profile_section("atpg.run", gates=len(list(self.netlist.names()))):
+            outcome = self._run(faults)
+        _RUNS.inc()
+        _RANDOM_DETECTED.inc(outcome.random_detected)
+        _PODEM_DETECTED.inc(outcome.podem_detected)
+        _PATTERNS.inc(len(outcome.patterns))
+        return outcome
+
+    def _run(self, faults: Optional[Sequence[Fault]] = None) -> AtpgOutcome:
         if faults is None:
             faults = collapse_faults(self.netlist, full_fault_universe(self.netlist))
         faults = list(faults)

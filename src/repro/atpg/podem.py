@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import AtpgError
+from repro.obs import METRICS
 from repro.atpg.values import CONTROLLING, ONE, X, ZERO, eval_gate3, v_not
 from repro.faults.model import Fault
 from repro.gates.cells import GateKind
@@ -27,6 +28,12 @@ from repro.gates.netlist import Gate, GateNetlist
 
 _STATE_KINDS = (GateKind.DFF, GateKind.SDFF)
 _SOURCE_KINDS = (GateKind.INPUT,) + _STATE_KINDS
+
+_CALLS = METRICS.counter("atpg.podem.calls")
+_BACKTRACKS = METRICS.counter("atpg.podem.backtracks")
+_DECISIONS = METRICS.counter("atpg.podem.decisions")
+_ABORTS = METRICS.counter("atpg.podem.aborts")
+_REDUNDANT = METRICS.counter("atpg.podem.redundant")
 
 
 class PodemStatus(enum.Enum):
@@ -42,6 +49,8 @@ class PodemResult:
     #: unassigned sources are free and may take any value
     assignment: Dict[str, int] = field(default_factory=dict)
     backtracks: int = 0
+    #: total decision-tree assignments tried (first choices + flips)
+    decisions: int = 0
 
 
 def podem(
@@ -60,7 +69,15 @@ def podem(
     netlist locations (the frame copies produced by unrolling).
     """
     engine = _PodemEngine(netlist, fault, assignable, backtrack_limit, extra_sites or ())
-    return engine.search()
+    result = engine.search()
+    _CALLS.inc()
+    _BACKTRACKS.inc(result.backtracks)
+    _DECISIONS.inc(result.decisions)
+    if result.status is PodemStatus.ABORTED:
+        _ABORTS.inc()
+    elif result.status is PodemStatus.REDUNDANT:
+        _REDUNDANT.inc()
+    return result
 
 
 class _PodemEngine:
@@ -340,11 +357,14 @@ class _PodemEngine:
     # ------------------------------------------------------------------
     def search(self) -> PodemResult:
         backtracks = 0
+        tried = 0
         decisions: List[Tuple[str, int, bool]] = []  # (source, value, both_tried)
         self.simulate()
         while True:
             if self.detected():
-                return PodemResult(PodemStatus.DETECTED, dict(self.assignment), backtracks)
+                return PodemResult(
+                    PodemStatus.DETECTED, dict(self.assignment), backtracks, tried
+                )
 
             step: Optional[Tuple[str, int]] = None
             goal = self.objective()
@@ -355,6 +375,7 @@ class _PodemEngine:
                 source, value = step
                 decisions.append((source, value, False))
                 self.assignment[source] = value
+                tried += 1
                 self.simulate()
                 continue
 
@@ -366,11 +387,12 @@ class _PodemEngine:
                 if not both_tried:
                     backtracks += 1
                     if backtracks > self.backtrack_limit:
-                        return PodemResult(PodemStatus.ABORTED, {}, backtracks)
+                        return PodemResult(PodemStatus.ABORTED, {}, backtracks, tried)
                     decisions.append((source, v_not(value), True))
                     self.assignment[source] = v_not(value)
+                    tried += 1
                     flipped = True
                     break
             if not flipped:
-                return PodemResult(PodemStatus.REDUNDANT, {}, backtracks)
+                return PodemResult(PodemStatus.REDUNDANT, {}, backtracks, tried)
             self.simulate()

@@ -10,6 +10,12 @@ Usage (after ``pip install -e .``)::
     python -m repro compare System2           # SOCET vs FSCAN-BSCAN summary
     python -m repro schedule System3          # concurrent-session schedule
     python -m repro schedule System4 -p 80    # ...under a scan-power budget
+    python -m repro profile System3           # per-stage time/counter breakdown
+
+Global observability flags work on every subcommand (before or after
+it): ``--trace FILE`` writes a Chrome ``trace_event`` JSON of the run,
+``--metrics`` appends the full instrument table, and ``-v``/``-vv``
+turn on INFO/DEBUG logging from the library.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro import __version__
+from repro.errors import ReproError, UsageError
 from repro.util import render_table
 
 
@@ -32,7 +40,7 @@ def _build_system(name: str):
 
     builders = system_builders()
     if name not in builders:
-        raise SystemExit(f"unknown system {name!r}; choose from {sorted(builders)}")
+        raise UsageError(f"unknown system {name!r}; choose from {sorted(builders)}")
     return builders[name]()
 
 
@@ -45,11 +53,11 @@ def _parse_selection(soc, spec: Optional[str]) -> Optional[Dict[str, int]]:
             core_name, version = item.split("=")
             index = int(version) - 1
         except ValueError:
-            raise SystemExit(f"bad selection item {item!r}; expected CORE=N")
+            raise UsageError(f"bad selection item {item!r}; expected CORE=N")
         if core_name not in selection:
-            raise SystemExit(f"unknown core {core_name!r}")
+            raise UsageError(f"unknown core {core_name!r}")
         if not 0 <= index < soc.cores[core_name].version_count:
-            raise SystemExit(
+            raise UsageError(
                 f"{core_name} has versions 1..{soc.cores[core_name].version_count}"
             )
         selection[core_name] = index
@@ -80,7 +88,7 @@ def cmd_versions(args) -> int:
 
     builders = _core_builders()
     if args.core not in builders:
-        raise SystemExit(f"unknown core {args.core!r}; choose from {sorted(builders)}")
+        raise UsageError(f"unknown core {args.core!r}; choose from {sorted(builders)}")
     prep = prepare_core(builders[args.core]())
     table = prep.version_latency_table()
     headers = list(table[0].keys())
@@ -161,7 +169,7 @@ def cmd_schedule(args) -> int:
             include_bist=args.bist,
         )
     except ScheduleError as error:
-        raise SystemExit(f"scheduling failed: {error}")
+        raise UsageError(f"scheduling failed: {error}")
     print(render_gantt(schedule))
     print()
     print(render_session_table(schedule))
@@ -194,33 +202,84 @@ def cmd_export(args) -> int:
     return 0
 
 
+#: --quick's per-core fault cap: small enough for seconds-long runs,
+#: large enough that PODEM still backtracks on every example core
+QUICK_MAX_FAULTS = 60
+
+
+def cmd_profile(args) -> int:
+    from repro.flow.profile import profile_system
+
+    max_faults = QUICK_MAX_FAULTS if args.quick else None
+    report = profile_system(args.system, seed=args.seed, max_faults=max_faults)
+    print(report.render())
+    return 0
+
+
 # ----------------------------------------------------------------------
+def _observability_parent() -> argparse.ArgumentParser:
+    """The global flags, attachable before *or* after the subcommand.
+
+    Defaults are ``SUPPRESS`` so a subparser never clobbers a value the
+    main parser already set; ``main`` reads them with ``getattr``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="FILE", default=argparse.SUPPRESS,
+        help="write a Chrome trace_event JSON of this run "
+             "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    group.add_argument(
+        "--metrics", action="store_true", default=argparse.SUPPRESS,
+        help="print the full metrics table after the command",
+    )
+    group.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help="library logging: -v for INFO, -vv for DEBUG",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
+    obs = _observability_parent()
     parser = argparse.ArgumentParser(
-        prog="repro", description="SOCET core-based SOC test planning (DAC'98 reproduction)"
+        prog="repro",
+        description="SOCET core-based SOC test planning (DAC'98 reproduction)",
+        parents=[obs],
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("cores", help="list the example cores").set_defaults(func=cmd_cores)
+    p_cores = sub.add_parser("cores", help="list the example cores", parents=[obs])
+    p_cores.set_defaults(func=cmd_cores)
 
-    p_versions = sub.add_parser("versions", help="a core's transparency versions")
+    p_versions = sub.add_parser(
+        "versions", help="a core's transparency versions", parents=[obs]
+    )
     p_versions.add_argument("core")
     p_versions.set_defaults(func=cmd_versions)
 
-    p_plan = sub.add_parser("plan", help="plan an SOC test")
+    p_plan = sub.add_parser("plan", help="plan an SOC test", parents=[obs])
     p_plan.add_argument("system")
     p_plan.add_argument("-s", "--select", help="version selection, e.g. CPU=3,DISPLAY=1")
     p_plan.set_defaults(func=cmd_plan)
 
-    p_sweep = sub.add_parser("sweep", help="sweep the version design space")
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep the version design space", parents=[obs]
+    )
     p_sweep.add_argument("system")
     p_sweep.set_defaults(func=cmd_sweep)
 
-    p_compare = sub.add_parser("compare", help="SOCET vs FSCAN-BSCAN")
+    p_compare = sub.add_parser("compare", help="SOCET vs FSCAN-BSCAN", parents=[obs])
     p_compare.add_argument("system")
     p_compare.set_defaults(func=cmd_compare)
 
-    p_schedule = sub.add_parser("schedule", help="concurrent test-session schedule")
+    p_schedule = sub.add_parser(
+        "schedule", help="concurrent test-session schedule", parents=[obs]
+    )
     p_schedule.add_argument("system")
     p_schedule.add_argument("-s", "--select", help="version selection, e.g. CPU=3")
     p_schedule.add_argument(
@@ -237,17 +296,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_schedule.set_defaults(func=cmd_schedule)
 
-    p_export = sub.add_parser("export", help="export a test plan as JSON")
+    p_export = sub.add_parser("export", help="export a test plan as JSON", parents=[obs])
     p_export.add_argument("system")
     p_export.add_argument("-s", "--select", help="version selection, e.g. CPU=3")
     p_export.add_argument("-o", "--output", help="output file (default stdout)")
     p_export.set_defaults(func=cmd_export)
+
+    p_profile = sub.add_parser(
+        "profile", help="run the full pipeline, print a per-stage breakdown",
+        parents=[obs],
+    )
+    p_profile.add_argument("system")
+    p_profile.add_argument("--seed", type=int, default=0, help="ATPG seed (default 0)")
+    p_profile.add_argument(
+        "--quick", action="store_true",
+        help="cap per-core ATPG at a sampled fault subset (seconds, not minutes)",
+    )
+    p_profile.set_defaults(func=cmd_profile)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.obs import (
+        METRICS,
+        TRACER,
+        configure_logging,
+        disable_tracing,
+        enable_tracing,
+    )
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    show_metrics = getattr(args, "metrics", False)
+    configure_logging(getattr(args, "verbose", 0))
+    if trace_path:
+        enable_tracing()
+    try:
+        status = args.func(args)
+    except ReproError as error:
+        raise SystemExit(f"repro: {error}")
+    finally:
+        if trace_path:
+            TRACER.export_chrome(trace_path)
+            disable_tracing()
+            print(f"wrote trace to {trace_path}", file=sys.stderr)
+    if show_metrics:
+        from repro.flow.report import render_metrics_table
+
+        print()
+        print(render_metrics_table(METRICS.snapshot()))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,10 +33,13 @@ from repro.dft.scan import (
     ScanUnit,
 )
 from repro.errors import DftError
+from repro.obs import METRICS, profile_section
 from repro.rtl.arcs import Arc, extract_arcs
 from repro.rtl.circuit import RTLCircuit
 from repro.rtl.components import Mux, Operator, Register
 from repro.rtl.types import ComponentKind, Concat, OpKind, Slice, concat, slice_expr
+
+_INSERTIONS = METRICS.counter("corelevel.hscan.insertions")
 
 SCAN_ENABLE = "scan_en"
 SCAN_IN = "scan_in"
@@ -71,6 +74,13 @@ class HscanResult:
 
 def insert_hscan(circuit: RTLCircuit) -> HscanResult:
     """Plan HSCAN for ``circuit`` (does not modify it; see apply_hscan)."""
+    with profile_section("corelevel.hscan", core=circuit.name):
+        result = _insert_hscan(circuit)
+    _INSERTIONS.inc()
+    return result
+
+
+def _insert_hscan(circuit: RTLCircuit) -> HscanResult:
     arcs = extract_arcs(circuit)
     register_arcs = [a for a in arcs if not a.dest_is_output]
     output_arcs = [a for a in arcs if a.dest_is_output]

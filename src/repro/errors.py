@@ -55,3 +55,20 @@ class ScheduleError(SocError):
 
 class BistError(ReproError):
     """Memory BIST configuration or execution problem."""
+
+
+class UsageError(ReproError):
+    """Bad command-line input (unknown system, malformed selection).
+
+    The CLI's ``main`` converts these to a clean ``SystemExit`` with a
+    ``repro:``-prefixed message, so library code and subcommands raise
+    :class:`UsageError` instead of calling ``SystemExit`` directly.
+    """
+
+
+class ObservabilityError(ReproError):
+    """A problem in the tracing/metrics/bench-format layer."""
+
+
+class BenchSchemaError(ObservabilityError):
+    """A BENCH_*.json or trace artifact violates the expected schema."""

@@ -20,6 +20,12 @@ from repro.gates.netlist import GateNetlist
 from repro.gates.simulator import CombinationalSimulator, eval_kind
 from repro.gates.sequential import SequentialSimulator
 from repro.gates.simulator import FaultSite
+from repro.obs import METRICS, profile_section
+
+_BATCHES = METRICS.counter("faultsim.batches")
+_EVENTS = METRICS.counter("faultsim.events")
+_DROPPED = METRICS.counter("faultsim.faults.dropped")
+_SEQ_FAULTS = METRICS.counter("faultsim.sequential.faults")
 
 _SOURCE_KINDS = (
     GateKind.INPUT,
@@ -101,6 +107,12 @@ class FaultSimulator:
     # ------------------------------------------------------------------
     def run(self, patterns: Sequence[Pattern], faults: Sequence[Fault]) -> FaultSimResult:
         """Grade ``patterns`` against ``faults`` with fault dropping."""
+        with profile_section(
+            "faultsim.run", patterns=len(patterns), faults=len(faults)
+        ):
+            return self._run(patterns, faults)
+
+    def _run(self, patterns: Sequence[Pattern], faults: Sequence[Fault]) -> FaultSimResult:
         alive: List[Fault] = list(faults)
         result = FaultSimResult(total=len(faults))
         source_names = [
@@ -123,6 +135,9 @@ class FaultSimulator:
                 sources[name] = word
             good = self._sim.run(sources, count)
 
+            _BATCHES.inc()
+            _EVENTS.inc(count * len(alive))
+
             still_alive: List[Fault] = []
             for fault in alive:
                 detected_word = self._detect_word(fault, good, mask, count)
@@ -132,6 +147,7 @@ class FaultSimulator:
                     result.first_detection[fault] = first
                 else:
                     still_alive.append(fault)
+            _DROPPED.inc(len(alive) - len(still_alive))
             alive = still_alive
             if not alive:
                 break
@@ -227,6 +243,18 @@ def sequential_fault_grade(
         rng = random.Random(seed)
         chosen = rng.sample(chosen, sample)
 
+    with profile_section(
+        "faultsim.sequential", sequences=len(sequences), faults=len(chosen)
+    ):
+        _SEQ_FAULTS.inc(len(chosen))
+        return _sequential_grade(netlist, sequences, chosen)
+
+
+def _sequential_grade(
+    netlist: GateNetlist,
+    sequences: Sequence[Sequence[Pattern]],
+    chosen: List[Fault],
+) -> FaultSimResult:
     result = FaultSimResult(total=len(chosen))
     if not sequences:
         result.undetected = chosen

@@ -15,6 +15,7 @@ from repro.flow.corelevel import CorePreparation, prepare_core
 from repro.flow.system_netlist import flatten_soc
 from repro.flow.chiplevel import SocetRun, run_socet
 from repro.flow.evaluate import SystemEvaluation, evaluate_system
+from repro.flow.profile import ProfileReport, profile_system
 from repro.flow.interconnect import (
     InterconnectReport,
     bus_interconnect_report,
@@ -25,8 +26,10 @@ from repro.flow.report import (
     ScheduleRow,
     TestabilityRow,
     render_area_table,
+    render_metrics_table,
     render_schedule_table,
     render_session_table,
+    render_stage_table,
     render_testability_table,
 )
 
@@ -38,6 +41,8 @@ __all__ = [
     "run_socet",
     "SystemEvaluation",
     "evaluate_system",
+    "ProfileReport",
+    "profile_system",
     "InterconnectReport",
     "interconnect_report",
     "bus_interconnect_report",
@@ -45,7 +50,9 @@ __all__ = [
     "ScheduleRow",
     "TestabilityRow",
     "render_area_table",
+    "render_metrics_table",
     "render_schedule_table",
     "render_session_table",
+    "render_stage_table",
     "render_testability_table",
 ]

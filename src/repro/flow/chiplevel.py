@@ -13,6 +13,7 @@ from typing import List, Optional
 from repro.baselines.fscan_bscan import FscanBscanReport, fscan_bscan_report
 from repro.dft.hscan import insert_hscan
 from repro.flow.report import AreaRow, ScheduleRow
+from repro.obs import profile_section
 from repro.schedule import TestSchedule
 from repro.soc.optimizer import DesignPoint, SocetOptimizer, design_space
 from repro.soc.plan import SocTestPlan, plan_soc_test
@@ -93,6 +94,11 @@ class SocetRun:
 
 def run_socet(soc: Soc) -> SocetRun:
     """Sweep the design space and pick the paper's two extreme points."""
+    with profile_section("chiplevel.run_socet", soc=soc.name):
+        return _run_socet(soc)
+
+
+def _run_socet(soc: Soc) -> SocetRun:
     points = design_space(soc)
     min_area = min(points, key=lambda p: (p.chip_cells, p.tat))
     min_tat = min(points, key=lambda p: (p.tat, p.chip_cells))

@@ -31,6 +31,7 @@ from repro.faults.model import full_fault_universe
 from repro.faults.simulator import sequential_fault_grade
 from repro.flow.report import TestabilityRow
 from repro.flow.system_netlist import flatten_soc
+from repro.obs import profile_section
 from repro.soc.plan import plan_soc_test
 from repro.soc.system import Soc
 import random
@@ -62,7 +63,10 @@ def _sequential_row(
     seed: int,
     scan_access: str = "none",
 ) -> TestabilityRow:
-    netlist = flatten_soc(soc, with_hscan=with_hscan, scan_access=scan_access)
+    with profile_section(
+        "faultsim.flatten", soc=soc.name, configuration=configuration
+    ):
+        netlist = flatten_soc(soc, with_hscan=with_hscan, scan_access=scan_access)
     faults = collapse_faults(netlist, full_fault_universe(netlist))
     rng = random.Random(seed)
     input_names = [g.name for g in netlist.inputs]
@@ -83,9 +87,10 @@ def _sequential_row(
 def _scan_coverage(soc: Soc, seed: int) -> Dict[str, CoverageReport]:
     """Per-core ATPG coverage (shared by FSCAN-BSCAN and SOCET rows)."""
     reports: Dict[str, CoverageReport] = {}
-    for core in soc.testable_cores():
-        outcome = CombinationalAtpg(elaborate(core.circuit).netlist, seed=seed).run()
-        reports[core.name] = outcome.report
+    with profile_section("atpg.scan_coverage", soc=soc.name):
+        for core in soc.testable_cores():
+            outcome = CombinationalAtpg(elaborate(core.circuit).netlist, seed=seed).run()
+            reports[core.name] = outcome.report
     return reports
 
 

@@ -1,9 +1,14 @@
-"""Report rows mirroring the paper's tables, plus text rendering."""
+"""Report rows mirroring the paper's tables, plus text rendering.
+
+Beyond the paper's tables this module renders the observability
+artifacts: the per-stage pipeline breakdown behind ``repro profile``
+and the metrics section printed by the global ``--metrics`` flag.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.util.tables import render_table
 
@@ -148,6 +153,56 @@ class TestabilityRow:
     fault_coverage: float
     test_efficiency: float
     tat: Optional[int] = None
+
+
+def _format_counters(counters: Dict[str, object], limit: int = 4) -> str:
+    """Compact ``name=value`` list, largest values first."""
+    ordered = sorted(counters.items(), key=lambda kv: (-float(kv[1]), kv[0]))
+    shown = [f"{name}={value:,}" for name, value in ordered[:limit]]
+    if len(ordered) > limit:
+        shown.append(f"(+{len(ordered) - limit} more)")
+    return ", ".join(shown) if shown else "-"
+
+
+def render_stage_table(stages: List[Dict], title: str = "pipeline profile") -> str:
+    """The per-stage breakdown of one profiled pipeline run.
+
+    ``stages`` rows come from :func:`repro.obs.stage_rows`: display
+    name, inclusive seconds, timed-section count, and the stage's
+    counters.
+    """
+    body = []
+    for row in stages:
+        body.append(
+            [
+                row["stage"],
+                f"{row['seconds'] * 1000.0:.1f}",
+                row["calls"],
+                _format_counters(row["counters"]),
+            ]
+        )
+    return render_table(["Stage", "Time(ms)", "Sections", "Key counters"], body, title=title)
+
+
+def render_metrics_table(snapshot: Dict) -> str:
+    """The ``--metrics`` section: every counter, gauge, and histogram.
+
+    ``snapshot`` is :meth:`repro.obs.MetricsRegistry.snapshot` output.
+    """
+    rows = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append([name, "counter", f"{value:,}"])
+    for name, value in snapshot.get("gauges", {}).items():
+        rows.append([name, "gauge", value])
+    for name, summary in snapshot.get("histograms", {}).items():
+        rendered = (
+            f"n={summary['count']} sum={summary['sum']:.4g} "
+            f"p50={summary.get('p50', 0):.4g} p99={summary.get('p99', 0):.4g}"
+        )
+        rows.append([name, "histogram", rendered])
+    if not rows:
+        rows.append(["(no instruments recorded)", "-", "-"])
+    return render_table(["Instrument", "Kind", "Value"], rows, title="Metrics")
 
 
 def render_testability_table(rows: List[TestabilityRow]) -> str:

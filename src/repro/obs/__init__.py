@@ -1,0 +1,111 @@
+"""Observability for the SOCET pipeline: tracing, metrics, profiling.
+
+Zero-dependency subsystem with three cooperating parts:
+
+* :mod:`repro.obs.tracer` -- a span tracer (Chrome ``trace_event`` JSON
+  + JSONL export) that is a shared no-op until enabled;
+* :mod:`repro.obs.metrics` -- an always-on registry of counters, gauges,
+  and percentile histograms the hot paths feed through cached
+  instruments (PODEM backtracks, fault-sim events, BFS expansions,
+  scheduler reservation waits, optimizer moves, ...);
+* :mod:`repro.obs.profiler` -- :func:`profile_section`, which feeds a
+  ``<name>.time`` histogram (and a span when tracing) and powers the
+  per-stage breakdown of ``repro profile``.
+
+Typical instrumentation, cached at module scope::
+
+    from repro.obs import METRICS, profile_section
+    _WAITS = METRICS.counter("schedule.reservation.waits")
+
+    def place(...):
+        with profile_section("schedule.pack"):
+            ...
+            _WAITS.inc()
+
+See DESIGN.md ("Observability") for the instrument naming contract.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_REGISTRY,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import (
+    PIPELINE_STAGES,
+    Timer,
+    profile_section,
+    stage_rows,
+)
+from repro.obs.tracer import DEFAULT_TRACER, NOOP_SPAN, Span, Tracer
+
+#: process-wide singletons every instrumented module shares
+METRICS = DEFAULT_REGISTRY
+TRACER = DEFAULT_TRACER
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "NOOP_SPAN",
+    "Timer",
+    "PIPELINE_STAGES",
+    "profile_section",
+    "stage_rows",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "configure_logging",
+]
+
+
+def span(name: str, **args):
+    """Shorthand for ``TRACER.span`` (no-op while tracing is disabled)."""
+    return TRACER.span(name, **args)
+
+
+def enable_tracing(clear: bool = True) -> Tracer:
+    if clear:
+        TRACER.clear()
+    TRACER.enable()
+    return TRACER
+
+
+def disable_tracing() -> Tracer:
+    TRACER.disable()
+    return TRACER
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree from a ``-v`` count.
+
+    0 leaves the library silent (WARNING), 1 enables INFO, 2+ DEBUG.
+    Handlers are installed once on the ``repro`` root logger so repeated
+    CLI invocations in one process do not duplicate output lines.
+    """
+    level = logging.WARNING
+    if verbosity == 1:
+        level = logging.INFO
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(
+            logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger

@@ -1,0 +1,150 @@
+"""The machine-readable benchmark format (``BENCH_<name>.json``).
+
+Every benchmark writes one JSON document so the performance trajectory
+is diffable across PRs: wall time plus the key pipeline counters from
+the metrics registry.  The schema is deliberately small and validated
+by hand (no external JSON-schema dependency)::
+
+    {
+      "schema": "repro-bench",
+      "schema_version": 1,
+      "bench": "schedule",          # short name, file is BENCH_<bench>.json
+      "wall_time_s": 0.0042,        # mean wall time of the measured call
+      "rounds": 3,                  # timing rounds the mean is over
+      "counters": {"schedule.reservation.waits": 7, ...},
+      "results": {...}              # bench-specific payload (free-form)
+    }
+
+Run ``python -m repro.obs.benchjson FILE...`` to validate bench files
+and exported Chrome traces (CI fails the job on any schema error).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import BenchSchemaError
+from repro.obs.metrics import DEFAULT_REGISTRY, MetricsRegistry
+
+SCHEMA = "repro-bench"
+SCHEMA_VERSION = 1
+
+_REQUIRED_FIELDS = {
+    "schema": str,
+    "schema_version": int,
+    "bench": str,
+    "wall_time_s": (int, float),
+    "rounds": int,
+    "counters": dict,
+    "results": (dict, list),
+}
+
+
+def bench_payload(
+    bench: str,
+    wall_time_s: float,
+    results,
+    rounds: int = 1,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict:
+    """Build a schema-valid bench document (counters from the registry)."""
+    registry = registry if registry is not None else DEFAULT_REGISTRY
+    payload = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "wall_time_s": float(wall_time_s),
+        "rounds": int(rounds),
+        "counters": {k: v for k, v in registry.counters().items() if v},
+        "results": results,
+    }
+    validate_bench(payload)
+    return payload
+
+
+def validate_bench(payload: Dict) -> None:
+    """Raise :class:`BenchSchemaError` listing every schema violation."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        raise BenchSchemaError(f"bench payload must be an object, got {type(payload).__name__}")
+    for field, kinds in _REQUIRED_FIELDS.items():
+        if field not in payload:
+            problems.append(f"missing field {field!r}")
+        elif not isinstance(payload[field], kinds):
+            problems.append(
+                f"field {field!r} has type {type(payload[field]).__name__}"
+            )
+    if not problems:
+        if payload["schema"] != SCHEMA:
+            problems.append(f"schema is {payload['schema']!r}, expected {SCHEMA!r}")
+        if payload["schema_version"] > SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {payload['schema_version']} is newer than {SCHEMA_VERSION}"
+            )
+        if payload["wall_time_s"] < 0:
+            problems.append("wall_time_s is negative")
+        for key, value in payload["counters"].items():
+            if not isinstance(key, str) or not isinstance(value, (int, float)):
+                problems.append(f"counter {key!r} is not a string->number entry")
+    if problems:
+        raise BenchSchemaError("; ".join(problems))
+
+
+def validate_chrome_trace(payload) -> None:
+    """Check a document is a loadable Chrome ``trace_event`` export."""
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            raise BenchSchemaError("trace object has no traceEvents list")
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        raise BenchSchemaError("trace must be an object or an event array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise BenchSchemaError(f"trace event {index} is not an object")
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                raise BenchSchemaError(f"trace event {index} misses {field!r}")
+
+
+def write_bench(path: str, payload: Dict) -> str:
+    validate_bench(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return str(path)
+
+
+def validate_file(path: str) -> str:
+    """Validate one artifact (bench JSON or Chrome trace) by content."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and payload.get("schema") == SCHEMA:
+        validate_bench(payload)
+        return "bench"
+    validate_chrome_trace(payload)
+    return "trace"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.benchjson FILE [FILE...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            kind = validate_file(path)
+        except (OSError, ValueError, BenchSchemaError) as error:
+            print(f"FAIL {path}: {error}")
+            failures += 1
+        else:
+            print(f"ok   {path} ({kind})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Timers and the per-stage aggregation behind ``repro profile``.
+
+:func:`profile_section` is the one helper instrumented code uses: it
+always feeds a duration histogram named ``<name>.time`` (seconds) in the
+shared registry, and additionally records a tracer span when tracing is
+enabled.  Aggregating those histograms by their first dotted component
+gives the pipeline's stage breakdown -- ``atpg.run.time`` and
+``atpg.podem.time`` both roll up into the ``atpg`` stage.
+
+Stage times are *inclusive*: fault simulation runs inside ATPG, and the
+optimizer re-plans through the chip-level planner, so nested stages
+overlap and the rows do not sum to the wall-clock total.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import DEFAULT_REGISTRY, MetricsRegistry
+from repro.obs.tracer import DEFAULT_TRACER, NOOP_SPAN
+
+#: (display name, metric prefix) for every pipeline stage, in flow order
+PIPELINE_STAGES: List[Tuple[str, str]] = [
+    ("core-level", "corelevel"),
+    ("transparency", "transparency"),
+    ("chip-level", "chiplevel"),
+    ("ATPG", "atpg"),
+    ("fault-sim", "faultsim"),
+    ("optimizer", "optimizer"),
+    ("schedule", "schedule"),
+]
+
+
+class Timer:
+    """Plain elapsed-seconds context manager (``timer.elapsed``)."""
+
+    __slots__ = ("elapsed", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+
+#: per-section duration histograms, cached so ``__exit__`` skips the
+#: registry lookup (safe: ``reset()`` zeroes instruments in place)
+_TIME_HISTOGRAMS: Dict[str, "object"] = {}
+
+
+def _time_histogram(name: str):
+    histogram = _TIME_HISTOGRAMS.get(name)
+    if histogram is None:
+        histogram = _TIME_HISTOGRAMS[name] = DEFAULT_REGISTRY.histogram(name + ".time")
+    return histogram
+
+
+class _Section:
+    """Span + duration-histogram recorder for one named section."""
+
+    __slots__ = ("name", "_span", "_start")
+
+    def __init__(self, name: str, args: Dict) -> None:
+        self.name = name
+        self._span = DEFAULT_TRACER.span(name, **args) if DEFAULT_TRACER.enabled else NOOP_SPAN
+        self._start = 0.0
+
+    def set(self, **args) -> None:
+        self._span.set(**args)
+
+    def __enter__(self) -> "_Section":
+        self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._start
+        _time_histogram(self.name).observe(elapsed)
+        self._span.__exit__(*exc)
+        return False
+
+
+def profile_section(name: str, **args) -> _Section:
+    """Time a named section into the metrics registry (and trace)."""
+    return _Section(name, args)
+
+
+# ----------------------------------------------------------------------
+def stage_rows(
+    registry: Optional[MetricsRegistry] = None,
+    stages: Sequence[Tuple[str, str]] = tuple(PIPELINE_STAGES),
+) -> List[Dict]:
+    """Per-stage totals: time, section calls, and that stage's counters.
+
+    A stage's time is the sum of every ``<prefix>.*.time`` histogram;
+    its counters are every counter under the same dotted prefix.
+    """
+    registry = registry or DEFAULT_REGISTRY
+    rows: List[Dict] = []
+    for display, prefix in stages:
+        seconds = 0.0
+        calls = 0
+        for name, summary in registry.histograms(prefix + ".").items():
+            if name.endswith(".time"):
+                seconds += summary.get("sum", 0.0)
+                calls += int(summary.get("count", 0))
+        counters = {
+            name[len(prefix) + 1 :]: value
+            for name, value in registry.counters(prefix + ".").items()
+            if value
+        }
+        rows.append(
+            {
+                "stage": display,
+                "prefix": prefix,
+                "seconds": seconds,
+                "calls": calls,
+                "counters": counters,
+            }
+        )
+    return rows

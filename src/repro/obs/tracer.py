@@ -1,0 +1,157 @@
+"""Span-based tracer exporting Chrome ``trace_event`` JSON and JSONL.
+
+A :class:`Tracer` records *complete* spans (``ph: "X"``): each span has
+a name, wall-clock start, duration, thread id, nesting depth, and free
+``args``.  The output of :meth:`Tracer.export_chrome` loads directly in
+``chrome://tracing`` and https://ui.perfetto.dev; :meth:`export_jsonl`
+writes one event per line for ad-hoc ``jq``/pandas analysis.
+
+Disabled is the default and the fast path: ``span()`` then returns a
+shared no-op context manager without touching the clock, so leaving
+``with TRACER.span("atpg.run"):`` in library code costs one attribute
+check per call.  Spans nest naturally through the ``with`` statement;
+a thread-local stack tracks depth and parent for the JSONL export
+(Chrome infers nesting from timestamps on the same thread).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span; records itself on the tracer when the block exits."""
+
+    __slots__ = ("tracer", "name", "args", "_start_ns", "_depth", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+        self._start_ns = 0
+        self._depth = 0
+        self._parent: Optional[str] = None
+
+    def set(self, **args) -> None:
+        """Attach extra args (counters measured inside the block)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end_ns = time.perf_counter_ns()
+        stack = self.tracer._stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self.tracer._record(
+            {
+                "name": self.name,
+                "ph": "X",
+                "ts": (self._start_ns - self.tracer.epoch_ns) / 1000.0,
+                "dur": (end_ns - self._start_ns) / 1000.0,
+                "pid": self.tracer.pid,
+                "tid": threading.get_ident(),
+                "cat": self.name.split(".", 1)[0],
+                "args": dict(self.args, depth=self._depth, parent=self._parent),
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder; disabled (and near-free) by default."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.epoch_ns = time.perf_counter_ns()
+        self.pid = os.getpid()
+        self._events: List[Dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **args):
+        """Context manager timing one section (no-op when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, args)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+        self.epoch_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, event: Dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[Dict]:
+        with self._lock:
+            return list(self._events)
+
+    def chrome_trace(self) -> Dict:
+        """The ``trace_event`` document Perfetto/chrome://tracing load."""
+        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: str) -> str:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+            handle.write("\n")
+        return path
+
+    def export_jsonl(self, path: str) -> str:
+        with open(path, "w") as handle:
+            for event in self.events():
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return path
+
+    def iter_spans(self, prefix: str = "") -> Iterator[Dict]:
+        for event in self.events():
+            if event["name"].startswith(prefix):
+                yield event
+
+
+#: the process-wide tracer shared by every instrumented module
+DEFAULT_TRACER = Tracer()

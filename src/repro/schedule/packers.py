@@ -17,11 +17,23 @@ same items, but the packer's schedule needs a simpler controller.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional
 
 from repro.errors import ScheduleError
+from repro.obs import METRICS, profile_section
 from repro.schedule.conflicts import TestItem
 from repro.schedule.timeline import ScheduledTest, TestSchedule
+
+logger = logging.getLogger("repro.schedule")
+
+#: a start candidate rejected because a reserved resource was busy
+_WAITS = METRICS.counter("schedule.reservation.waits")
+#: alternate start candidates probed after the first choice failed
+_RETRIES = METRICS.counter("schedule.reservation.retries")
+_POWER_REJECTS = METRICS.counter("schedule.power.rejects")
+_ITEMS = METRICS.counter("schedule.items")
+_SESSIONS = METRICS.counter("schedule.sessions.packed")
 
 
 class Scheduler:
@@ -33,13 +45,21 @@ class Scheduler:
         self.power_budget = power_budget
 
     def schedule(self, soc_name: str, items: List[TestItem]) -> TestSchedule:
-        entries = self._place(self._check(items))
-        return TestSchedule(
-            soc_name=soc_name,
-            algorithm=self.name,
-            entries=entries,
-            power_budget=self.power_budget,
-        ).validate()
+        with profile_section("schedule.pack", soc=soc_name, algorithm=self.name):
+            _ITEMS.inc(len(items))
+            entries = self._place(self._check(items))
+            schedule = TestSchedule(
+                soc_name=soc_name,
+                algorithm=self.name,
+                entries=entries,
+                power_budget=self.power_budget,
+            ).validate()
+        _SESSIONS.inc(len(schedule.sessions()))
+        logger.debug(
+            "%s/%s: %d items -> %d sessions, makespan %d",
+            soc_name, self.name, len(items), len(schedule.sessions()), schedule.makespan,
+        )
+        return schedule
 
     def _place(self, items: List[TestItem]) -> List[ScheduledTest]:
         raise NotImplementedError
@@ -68,15 +88,18 @@ class GreedyListScheduler(Scheduler):
 
     def _earliest(self, placed: List[ScheduledTest], item: TestItem) -> int:
         candidates = sorted({0} | {e.end for e in placed})
-        for start in candidates:
+        for index, start in enumerate(candidates):
             if self._fits(placed, item, start):
+                _RETRIES.inc(index)
                 return start
+        _RETRIES.inc(len(candidates))
         return max(e.end for e in placed) if placed else 0
 
     def _fits(self, placed: List[ScheduledTest], item: TestItem, start: int) -> bool:
         end = start + item.duration
         overlapping = [e for e in placed if e.start < end and start < e.end]
         if any(e.item.resources & item.resources for e in overlapping):
+            _WAITS.inc()
             return False
         if self.power_budget is None:
             return True
@@ -86,6 +109,7 @@ class GreedyListScheduler(Scheduler):
                 e.item.activity for e in placed if e.start <= probe < e.end
             )
             if active > self.power_budget:
+                _POWER_REJECTS.inc()
                 return False
         return True
 
@@ -105,12 +129,14 @@ class SessionPacker(Scheduler):
         for item in order:
             for members in sessions:
                 if any(item.conflicts_with(m) for m in members):
+                    _WAITS.inc()
                     continue
                 if (
                     self.power_budget is not None
                     and item.activity + sum(m.activity for m in members)
                     > self.power_budget
                 ):
+                    _POWER_REJECTS.inc()
                     continue
                 members.append(item)
                 break

@@ -20,13 +20,24 @@ from typing import Dict, Optional, Tuple
 
 import networkx as nx
 
+from repro.obs import METRICS, profile_section
 from repro.soc.system import Soc
 
 NodeId = Tuple[str, ...]  # ("PI", pin) | ("PO", pin) | ("CI"/"CO", core, port, lo, width)
 
+_CCG_BUILDS = METRICS.counter("chiplevel.ccg.builds")
+_CCG_QUERIES = METRICS.counter("chiplevel.ccg.queries")
+_CCG_EXPANSIONS = METRICS.counter("chiplevel.ccg.expansions")
+
 
 def build_ccg(soc: Soc, selection: Optional[Dict[str, int]] = None) -> "nx.DiGraph":
     """Build the CCG for one version selection (default: all version 0)."""
+    with profile_section("chiplevel.ccg", soc=soc.name):
+        _CCG_BUILDS.inc()
+        return _build_ccg(soc, selection)
+
+
+def _build_ccg(soc: Soc, selection: Optional[Dict[str, int]] = None) -> "nx.DiGraph":
     if selection is None:
         selection = {core.name: 0 for core in soc.testable_cores()}
     graph = nx.DiGraph(name=f"ccg:{soc.name}")
@@ -95,6 +106,7 @@ def shortest_justification(
     Returns (cost, node list) or None when the target is unreachable --
     the situation that calls for a system-level test multiplexer.
     """
+    _CCG_QUERIES.inc()
     best: Optional[Tuple[int, list]] = None
     for node, data in graph.nodes(data=True):
         if data.get("kind") != "PI":
@@ -103,6 +115,7 @@ def shortest_justification(
             cost, path = nx.single_source_dijkstra(graph, node, target, weight="weight")
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             continue
+        _CCG_EXPANSIONS.inc(len(path))
         if best is None or cost < best[0]:
             best = (int(cost), path)
     return best

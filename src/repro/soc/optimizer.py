@@ -22,13 +22,21 @@ possible test time, exactly as the paper notes.
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import InfeasibleConstraintError
+from repro.obs import METRICS, profile_section
 from repro.soc.plan import SocTestPlan, plan_soc_test
 from repro.soc.system import Soc
 from repro.transparency.versions import CoreVersion
+
+logger = logging.getLogger("repro.soc.optimizer")
+
+_ACCEPTED = METRICS.counter("optimizer.moves.accepted")
+_REJECTED = METRICS.counter("optimizer.moves.rejected")
+_ESCALATIONS = METRICS.counter("optimizer.mux.escalations")
 
 
 @dataclass
@@ -53,6 +61,13 @@ def design_space(soc: Soc, forced_muxes: Optional[Set[Tuple[str, str]]] = None) 
     the minimum-area design and the last point uses the minimum-latency
     version of every core.
     """
+    with profile_section("chiplevel.design_space", soc=soc.name):
+        return _design_space(soc, forced_muxes)
+
+
+def _design_space(
+    soc: Soc, forced_muxes: Optional[Set[Tuple[str, str]]] = None
+) -> List[DesignPoint]:
     cores = soc.testable_cores()
     ranges = [range(core.version_count) for core in cores]
     points: List[DesignPoint] = []
@@ -157,6 +172,12 @@ class SocetOptimizer:
     # objective (i): minimize TAT subject to an area budget
     # ------------------------------------------------------------------
     def minimize_tat(self, max_chip_cells: int) -> Tuple[SocTestPlan, List[DesignPoint]]:
+        with profile_section(
+            "optimizer.minimize_tat", soc=self.soc.name, budget=max_chip_cells
+        ):
+            return self._minimize_tat(max_chip_cells)
+
+    def _minimize_tat(self, max_chip_cells: int) -> Tuple[SocTestPlan, List[DesignPoint]]:
         selection = {core.name: 0 for core in self.soc.testable_cores()}
         forced: Set[Tuple[str, str]] = set()
         plan = plan_soc_test(self.soc, selection, forced_muxes=forced)
@@ -181,6 +202,11 @@ class SocetOptimizer:
                 new_selection[best_core] += 1
                 candidate_plan = plan_soc_test(self.soc, new_selection, forced_muxes=forced)
                 if candidate_plan.chip_dft_cells > max_chip_cells:
+                    _REJECTED.inc()
+                    logger.debug(
+                        "reject upgrade %s: %d cells over budget %d",
+                        best_core, candidate_plan.chip_dft_cells, max_chip_cells,
+                    )
                     candidate_plan = None
             if candidate_plan is None:
                 # escalate: test mux on the most critical port
@@ -193,12 +219,21 @@ class SocetOptimizer:
                     mux_plan.chip_dft_cells > max_chip_cells
                     or self._tat(mux_plan) >= self._tat(plan)
                 ):
+                    _REJECTED.inc()
                     break
                 forced = new_forced
                 candidate_plan = mux_plan
+                _ESCALATIONS.inc()
+                logger.info("escalate: test mux on %s.%s", *critical)
             if self._tat(candidate_plan) >= self._tat(plan) and candidate_plan.selection == plan.selection:
+                _REJECTED.inc()
                 break
             plan = candidate_plan
+            _ACCEPTED.inc()
+            logger.debug(
+                "accept move %d: TAT %d, %d cells",
+                step, self._tat(plan), plan.chip_dft_cells,
+            )
             trajectory.append(self._point(step, plan))
             step += 1
         return plan, trajectory
@@ -207,6 +242,12 @@ class SocetOptimizer:
     # objective (ii): minimize area subject to a TAT budget
     # ------------------------------------------------------------------
     def minimize_area(self, max_tat_cycles: int) -> Tuple[SocTestPlan, List[DesignPoint]]:
+        with profile_section(
+            "optimizer.minimize_area", soc=self.soc.name, budget=max_tat_cycles
+        ):
+            return self._minimize_area(max_tat_cycles)
+
+    def _minimize_area(self, max_tat_cycles: int) -> Tuple[SocTestPlan, List[DesignPoint]]:
         selection = {core.name: 0 for core in self.soc.testable_cores()}
         forced: Set[Tuple[str, str]] = set()
         plan = plan_soc_test(self.soc, selection, forced_muxes=forced)
@@ -220,6 +261,7 @@ class SocetOptimizer:
                     continue
                 delta_tat, delta_area = gain
                 if delta_tat <= 0:
+                    _REJECTED.inc()
                     continue
                 if best is None or delta_area < best[0]:
                     best = (delta_area, core.name)
@@ -227,6 +269,10 @@ class SocetOptimizer:
                 new_selection = dict(plan.selection)
                 new_selection[best[1]] += 1
                 plan = plan_soc_test(self.soc, new_selection, forced_muxes=forced)
+                _ACCEPTED.inc()
+                logger.debug(
+                    "accept move %d: upgrade %s, TAT %d", step, best[1], self._tat(plan)
+                )
             else:
                 critical = self.most_critical_port(plan)
                 if critical is None:
@@ -235,6 +281,8 @@ class SocetOptimizer:
                     )
                 forced = forced | {critical}
                 plan = plan_soc_test(self.soc, plan.selection, forced_muxes=forced)
+                _ESCALATIONS.inc()
+                logger.info("escalate: test mux on %s.%s", *critical)
             trajectory.append(self._point(step, plan))
             step += 1
         return plan, trajectory

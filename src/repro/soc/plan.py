@@ -32,13 +32,24 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+import logging
+
 from repro.errors import SocError
+from repro.obs import METRICS, profile_section
 from repro.soc.controller import estimate_controller_area
 from repro.soc.system import PortRef, Soc
 from repro.transparency.versions import CoreVersion, _tmux_cost
 
 #: key of one transparency transfer: (core, "justify"/"propagate", path key)
 UsageKey = Tuple[str, str, Tuple]
+
+logger = logging.getLogger("repro.soc.plan")
+
+_PLANS = METRICS.counter("chiplevel.plans")
+_DELIVERIES = METRICS.counter("chiplevel.deliveries")
+_OBSERVATIONS = METRICS.counter("chiplevel.observations")
+_MUX_FALLBACKS = METRICS.counter("chiplevel.mux.fallbacks")
+_RESERVATIONS = METRICS.counter("chiplevel.resource.reservations")
 
 
 @dataclass(frozen=True)
@@ -286,6 +297,7 @@ class _Planner:
         if result is None:
             if not self.allow_test_muxes:
                 return None
+            _MUX_FALLBACKS.inc()
             self._note_input_mux(core_name, port)
             return 0, Counter()
         return result
@@ -296,6 +308,7 @@ class _Planner:
             self._mux_keys.add(key)
             width = self.soc.cores[core_name].port_width(port)
             self.test_muxes.append(TestMux("input", core_name, port, 0, width))
+            logger.debug("test mux added: PI => %s.%s", core_name, port)
 
     # ------------------------------------------------------------------
     # observation side
@@ -367,6 +380,7 @@ class _Planner:
         if result is None:
             if not self.allow_test_muxes:
                 return None
+            _MUX_FALLBACKS.inc()
             self._note_output_mux(core_name, port, lo, width)
             return 0, Counter()
         return result
@@ -475,6 +489,7 @@ def _cadence(
             busy[(core_name, resource)] += count * path.latency
         for port in path.terminal_ports:
             busy[(core_name, "port", port)] += count * path.latency
+    _RESERVATIONS.inc(sum(busy.values()))
     busiest = max(busy.values(), default=0)
     return max(longest, busiest)
 
@@ -493,24 +508,30 @@ def plan_soc_test(
     of ``(core, port)`` pairs that must be pin-connected via system-level
     test muxes (used by the optimizer's escalation step).
     """
-    soc.validate()
-    if selection is None:
-        selection = {core.name: 0 for core in soc.testable_cores()}
-    forced_inputs: Set[Tuple[str, str]] = set()
-    forced_outputs: Set[Tuple[str, str]] = set()
-    for core_name, port in forced_muxes or set():
-        kind = soc.cores[core_name].circuit.get(port).kind.value
-        if kind == "input":
-            forced_inputs.add((core_name, port))
-        else:
-            forced_outputs.add((core_name, port))
-    planner = _Planner(soc, selection, allow_test_muxes, forced_inputs, forced_outputs)
-    core_plans = {
-        core.name: planner.plan_core(core.name) for core in soc.testable_cores()
-    }
-    return SocTestPlan(
-        soc=soc,
-        selection=dict(selection),
-        core_plans=core_plans,
-        test_muxes=planner.test_muxes,
-    )
+    with profile_section("chiplevel.plan", soc=soc.name) as section:
+        soc.validate()
+        if selection is None:
+            selection = {core.name: 0 for core in soc.testable_cores()}
+        forced_inputs: Set[Tuple[str, str]] = set()
+        forced_outputs: Set[Tuple[str, str]] = set()
+        for core_name, port in forced_muxes or set():
+            kind = soc.cores[core_name].circuit.get(port).kind.value
+            if kind == "input":
+                forced_inputs.add((core_name, port))
+            else:
+                forced_outputs.add((core_name, port))
+        planner = _Planner(soc, selection, allow_test_muxes, forced_inputs, forced_outputs)
+        core_plans = {
+            core.name: planner.plan_core(core.name) for core in soc.testable_cores()
+        }
+        plan = SocTestPlan(
+            soc=soc,
+            selection=dict(selection),
+            core_plans=core_plans,
+            test_muxes=planner.test_muxes,
+        )
+        _PLANS.inc()
+        _DELIVERIES.inc(sum(len(p.deliveries) for p in core_plans.values()))
+        _OBSERVATIONS.inc(sum(len(p.observations) for p in core_plans.values()))
+        section.set(total_tat=plan.total_tat, test_muxes=len(plan.test_muxes))
+    return plan

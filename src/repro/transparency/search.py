@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import METRICS, profile_section
 from repro.rtl.types import ComponentKind, Slice
 from repro.transparency.rcg import RCG, TransArc
 
@@ -32,6 +33,10 @@ from repro.transparency.rcg import RCG, TransArc
 FREEZE_COST_WITH_ENABLE = 1
 #: cells to freeze a register that loads unconditionally
 FREEZE_COST_NO_ENABLE = 3
+
+_EXPANSIONS = METRICS.counter("transparency.search.expansions")
+_JUSTIFY_CALLS = METRICS.counter("transparency.search.justify")
+_PROPAGATE_CALLS = METRICS.counter("transparency.search.propagate")
 
 
 @dataclass
@@ -111,14 +116,18 @@ class TransparencySearch:
     # ------------------------------------------------------------------
     def justify(self, target: Slice) -> Optional[TransparencyPath]:
         """Find how to set output/register slice ``target`` from inputs."""
-        tree = self._search(target, backwards=True, stack=frozenset())
+        _JUSTIFY_CALLS.inc()
+        with profile_section("transparency.search"):
+            tree = self._search(target, backwards=True, stack=frozenset())
         if tree is None:
             return None
         return self._finish("justify", target, tree)
 
     def propagate(self, source: Slice) -> Optional[TransparencyPath]:
         """Find how input/register slice ``source`` reaches outputs."""
-        tree = self._search(source, backwards=False, stack=frozenset())
+        _PROPAGATE_CALLS.inc()
+        with profile_section("transparency.search"):
+            tree = self._search(source, backwards=False, stack=frozenset())
         if tree is None:
             return None
         return self._finish("propagate", source, tree)
@@ -160,6 +169,7 @@ class TransparencySearch:
     def _search(
         self, piece: Slice, backwards: bool, stack: FrozenSet[str]
     ) -> Optional[PathNode]:
+        _EXPANSIONS.inc()
         kind = self.rcg.circuit.get(piece.comp).kind
         if kind is self._terminal_kind(backwards):
             return PathNode(piece, 0)

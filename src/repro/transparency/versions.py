@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.dft.hscan import HscanResult, insert_hscan
 from repro.errors import TransparencyError
+from repro.obs import METRICS, profile_section
 from repro.rtl.circuit import RTLCircuit
 from repro.rtl.types import ComponentKind, Slice
 from repro.transparency.rcg import RCG, TransArc
@@ -158,24 +159,27 @@ def generate_versions(
     versions add transparency multiplexers *one input/output pair at a
     time*, worst pair first, exactly as Section 4 describes.
     """
-    if hscan_plan is None:
-        hscan_plan = insert_hscan(circuit)
-    rcg = RCG.from_circuit(circuit, hscan_plan)
+    with profile_section("transparency.versions", core=circuit.name) as section:
+        if hscan_plan is None:
+            hscan_plan = insert_hscan(circuit)
+        rcg = RCG.from_circuit(circuit, hscan_plan)
 
-    versions: List[CoreVersion] = []
-    v1 = _solve_version(circuit, rcg, name="Version 1", index=0, hscan_first=True)
-    versions.append(v1)
+        versions: List[CoreVersion] = []
+        v1 = _solve_version(circuit, rcg, name="Version 1", index=0, hscan_first=True)
+        versions.append(v1)
 
-    if max_versions >= 2:
-        v2 = _solve_version(circuit, rcg, name="Version 2", index=1, hscan_first=False)
-        if v2.signature() != v1.signature():
-            versions.append(v2)
+        if max_versions >= 2:
+            v2 = _solve_version(circuit, rcg, name="Version 2", index=1, hscan_first=False)
+            if v2.signature() != v1.signature():
+                versions.append(v2)
 
-    while len(versions) < max_versions:
-        improved = _improve_worst_pair(circuit, versions[-1], index=len(versions))
-        if improved is None or improved.signature() == versions[-1].signature():
-            break
-        versions.append(improved)
+        while len(versions) < max_versions:
+            improved = _improve_worst_pair(circuit, versions[-1], index=len(versions))
+            if improved is None or improved.signature() == versions[-1].signature():
+                break
+            versions.append(improved)
+        METRICS.counter("transparency.versions.synthesized").inc(len(versions))
+        section.set(versions=len(versions))
 
     for i, version in enumerate(versions):
         version.index = i
