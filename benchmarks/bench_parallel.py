@@ -1,0 +1,182 @@
+"""Parallel evaluation engine: worker-pool fan-out + plan-cache scaling.
+
+Sweeps the full design space of System2-System4 at ``jobs`` in {1, 2, 4}
+(cache off, warm executors, so the numbers isolate pool scaling) and
+compares a cache-off sweep against a warm-cache sweep at ``jobs=1``.
+Every configuration's point list must be bit-identical to the serial
+cache-off baseline -- the engine's headline guarantee.
+
+Pool speedup needs physical CPUs; on a single-CPU runner the jobs>1
+wall times are reported but not asserted against (the determinism
+checks always run).  ``BENCH_parallel.json`` carries the full matrix:
+per-system wall times per job count, cache on/off times, hit counters,
+and the runner's CPU count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import SEED, write_bench_json, write_result
+
+from repro.exec import ParallelExecutor, plan_cache_for
+from repro.obs import METRICS
+from repro.soc.optimizer import design_space, sweep_context
+from repro.util import render_table
+
+ROUNDS = 1
+JOB_COUNTS = (1, 2, 4)
+#: pool-speedup floor asserted when the runner has >= 4 CPUs
+POOL_SPEEDUP_FLOOR = 1.8
+
+
+def _fresh_systems():
+    """Bench systems rebuilt fresh (no shared plan cache between configs)."""
+    from repro.designs import build_system2, build_system3, build_system4
+
+    return [
+        build_system2(atpg_seed=SEED),
+        build_system3(atpg_seed=SEED),
+        build_system4(atpg_seed=SEED),
+    ]
+
+
+def _point_key(point):
+    return (
+        tuple(sorted(point.selection.items())),
+        point.tat,
+        point.chip_cells,
+        tuple(str(m) for m in point.plan.test_muxes),
+    )
+
+
+def _sweep_with_pool(jobs):
+    """Per-system (wall time, point keys) at one job count, cache off."""
+    timings = {}
+    keys = {}
+    for soc in _fresh_systems():
+        with ParallelExecutor(
+            jobs, context=sweep_context(soc, use_cache=False)
+        ) as executor:
+            executor.warm()  # pool startup stays out of the timing
+            start = time.perf_counter()
+            points = design_space(soc, executor=executor, use_cache=False)
+            timings[soc.name] = time.perf_counter() - start
+            keys[soc.name] = [_point_key(p) for p in points]
+    return timings, keys
+
+
+def _sweep_with_cache():
+    """Cache-off vs warm-cache sweep times (serial), plus hit counts."""
+    off = {}
+    warm = {}
+    hits = {}
+    for soc in _fresh_systems():
+        start = time.perf_counter()
+        design_space(soc, use_cache=False)
+        off[soc.name] = time.perf_counter() - start
+
+        design_space(soc, use_cache=True)  # populate
+        hits_before = METRICS.counter("exec.cache.hits").value
+        start = time.perf_counter()
+        points = design_space(soc, use_cache=True)
+        warm[soc.name] = time.perf_counter() - start
+        hits[soc.name] = METRICS.counter("exec.cache.hits").value - hits_before
+        warm[soc.name + "_keys"] = [_point_key(p) for p in points]
+    return off, warm, hits
+
+
+def run_matrix():
+    pool = {jobs: _sweep_with_pool(jobs) for jobs in JOB_COUNTS}
+    cache_off, cache_warm, cache_hits = _sweep_with_cache()
+    return pool, cache_off, cache_warm, cache_hits
+
+
+def test_parallel_sweep(benchmark, results_dir):
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
+    pool, cache_off, cache_warm, cache_hits = benchmark.pedantic(
+        run_matrix, rounds=ROUNDS, iterations=1
+    )
+
+    systems = sorted(pool[1][0])
+    cpus = os.cpu_count() or 1
+
+    # ------------------------------------------------------------------
+    # determinism: every configuration reproduces the serial baseline
+    baseline = pool[1][1]
+    for jobs in JOB_COUNTS:
+        assert pool[jobs][1] == baseline, f"jobs={jobs} diverged from serial"
+    for name in systems:
+        assert cache_warm[name + "_keys"] == baseline[name], (
+            f"warm cache diverged from serial on {name}"
+        )
+
+    # warm caches must actually be exercised on the reuse-friendly systems
+    assert cache_hits["System3"] > 0
+    assert cache_hits["System4"] > 0
+    # ...and pay off: a fully warm sweep beats planning from scratch
+    for name in ("System3", "System4"):
+        assert cache_warm[name] < cache_off[name], (
+            f"warm plan cache slower than cache-off on {name}: "
+            f"{cache_warm[name]:.3f}s vs {cache_off[name]:.3f}s"
+        )
+
+    # pool scaling is only physical with real CPUs behind the workers
+    if cpus >= 4:
+        speedup = pool[1][0]["System4"] / pool[4][0]["System4"]
+        assert speedup >= POOL_SPEEDUP_FLOOR, (
+            f"jobs=4 speedup {speedup:.2f}x below {POOL_SPEEDUP_FLOOR}x "
+            f"on System4 ({cpus} CPUs)"
+        )
+
+    # ------------------------------------------------------------------
+    payload = {
+        "cpus": cpus,
+        "job_counts": list(JOB_COUNTS),
+        "pool": {
+            str(jobs): {name: pool[jobs][0][name] for name in systems}
+            for jobs in JOB_COUNTS
+        },
+        "cache": {
+            name: {
+                "off_wall_s": cache_off[name],
+                "warm_wall_s": cache_warm[name],
+                "hits": cache_hits[name],
+                "speedup": cache_off[name] / max(cache_warm[name], 1e-9),
+            }
+            for name in systems
+        },
+    }
+    write_bench_json(results_dir, "parallel", benchmark, payload, rounds=ROUNDS)
+
+    rows = []
+    for name in systems:
+        t1 = pool[1][0][name]
+        rows.append(
+            [
+                name,
+                f"{t1 * 1000:.1f}",
+                f"{pool[2][0][name] * 1000:.1f}",
+                f"{pool[4][0][name] * 1000:.1f}",
+                f"{cache_off[name] * 1000:.1f}",
+                f"{cache_warm[name] * 1000:.1f}",
+                f"{cache_off[name] / max(cache_warm[name], 1e-9):.2f}x",
+                cache_hits[name],
+            ]
+        )
+    text = render_table(
+        [
+            "system",
+            "jobs=1 (ms)",
+            "jobs=2 (ms)",
+            "jobs=4 (ms)",
+            "cache off (ms)",
+            "cache warm (ms)",
+            "cache speedup",
+            "hits",
+        ],
+        rows,
+        title=f"Design-space sweep: pool fan-out + plan cache ({cpus} CPUs)",
+    )
+    write_result(results_dir, "parallel", text)

@@ -15,7 +15,10 @@ Usage (after ``pip install -e .``)::
 Global observability flags work on every subcommand (before or after
 it): ``--trace FILE`` writes a Chrome ``trace_event`` JSON of the run,
 ``--metrics`` appends the full instrument table, and ``-v``/``-vv``
-turn on INFO/DEBUG logging from the library.
+turn on INFO/DEBUG logging from the library.  ``--jobs N`` (or the
+``REPRO_JOBS`` env var) fans the parallel stages -- per-core ATPG, the
+design-space sweep, per-point scheduling -- over N worker processes;
+results are bit-identical at any job count.
 """
 
 from __future__ import annotations
@@ -128,7 +131,7 @@ def cmd_sweep(args) -> int:
     from repro.soc import design_space
 
     soc = _build_system(args.system)
-    points = design_space(soc)
+    points = design_space(soc, jobs=getattr(args, "jobs", None))
     rows = [[p.index, p.chip_cells, p.tat, p.label()] for p in points]
     print(render_table(["pt", "chip cells", "TAT", "versions"], rows,
                        title=f"{soc.name}: design space"))
@@ -142,7 +145,7 @@ def cmd_compare(args) -> int:
     from repro.flow import render_area_table, render_schedule_table, run_socet
 
     soc = _build_system(args.system)
-    run = run_socet(soc)
+    run = run_socet(soc, jobs=getattr(args, "jobs", None))
     print(render_area_table(run.area_rows()))
     print()
     print(render_schedule_table(run.schedule_rows()))
@@ -211,7 +214,12 @@ def cmd_profile(args) -> int:
     from repro.flow.profile import profile_system
 
     max_faults = QUICK_MAX_FAULTS if args.quick else None
-    report = profile_system(args.system, seed=args.seed, max_faults=max_faults)
+    report = profile_system(
+        args.system,
+        seed=args.seed,
+        max_faults=max_faults,
+        jobs=getattr(args, "jobs", None),
+    )
     print(report.render())
     return 0
 
@@ -237,6 +245,13 @@ def _observability_parent() -> argparse.ArgumentParser:
     group.add_argument(
         "-v", "--verbose", action="count", default=argparse.SUPPRESS,
         help="library logging: -v for INFO, -vv for DEBUG",
+    )
+    execution = parent.add_argument_group("execution")
+    execution.add_argument(
+        "-j", "--jobs", type=int, metavar="N", default=argparse.SUPPRESS,
+        help="worker processes for the parallel stages (0 = one per CPU; "
+             "default REPRO_JOBS or 1 = serial; results are identical "
+             "at any job count)",
     )
     return parent
 

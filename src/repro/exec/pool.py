@@ -1,0 +1,194 @@
+"""Process-based worker pool with a deterministic serial fallback.
+
+:class:`ParallelExecutor` fans pure tasks out over worker processes and
+collects the results **in submission order**, so a parallel run is
+bit-identical to the serial one.  Three rules keep that guarantee:
+
+* tasks must be pure functions of their arguments (module-level, no
+  shared mutable state) -- every fan-out site in the flow obeys this;
+* results come back via ``ProcessPoolExecutor.map``, which preserves
+  input order regardless of completion order;
+* worker-side metrics are returned as (mark, delta) pairs and merged
+  into the parent registry in submission order, so counter totals and
+  stage histograms match the serial run's.
+
+The job count resolves explicit argument > ``REPRO_JOBS`` env var > 1
+(serial).  ``jobs=0`` means "one per CPU".  With ``jobs=1`` -- the
+default everywhere -- no pool is created and tasks run inline, which is
+exactly the pre-existing serial code path.  If the platform refuses to
+spawn processes, the executor logs a warning, falls back to the serial
+path, and counts the event on ``exec.pool.fallbacks``.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import os
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import UsageError
+from repro.obs import METRICS
+
+logger = logging.getLogger("repro.exec.pool")
+
+#: environment variable consulted when no explicit job count is given
+JOBS_ENV = "REPRO_JOBS"
+
+_SUBMITTED = METRICS.counter("exec.tasks.submitted")
+_COMPLETED = METRICS.counter("exec.tasks.completed")
+_FALLBACKS = METRICS.counter("exec.pool.fallbacks")
+_WORKERS = METRICS.gauge("exec.pool.workers")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit > ``REPRO_JOBS`` > 1 (serial)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise UsageError(f"{JOBS_ENV}={raw!r} is not an integer") from None
+    if jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# worker-side plumbing
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: Any = None
+
+
+def _worker_init(context: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_plain(payload):
+    fn, item = payload
+    mark = METRICS.mark()
+    result = fn(item)
+    return result, METRICS.delta_since(mark)
+
+
+def _run_with_context(payload):
+    fn, item = payload
+    mark = METRICS.mark()
+    result = fn(_WORKER_CONTEXT, item)
+    return result, METRICS.delta_since(mark)
+
+
+def _warm_task(_item):
+    return os.getpid()
+
+
+class ParallelExecutor:
+    """Ordered map of pure tasks over a reusable process pool.
+
+    ``context`` is an arbitrary picklable value made available to every
+    task as its first argument (workers receive it once, at pool start,
+    so a large shared object -- an SOC, a netlist -- is not re-pickled
+    per task).  With ``jobs=1`` the executor is a plain loop: same
+    results, same order, no processes.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, context: Any = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.context = context
+        self._pool = None
+        self._broken = False
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1 and not self._broken
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(self.context,),
+            )
+            _WORKERS.set(self.jobs)
+        return self._pool
+
+    def warm(self) -> "ParallelExecutor":
+        """Start every worker now (amortizes pool startup out of timings)."""
+        if self.parallel:
+            try:
+                pool = self._ensure_pool()
+                list(pool.map(_warm_task, range(self.jobs * 2), chunksize=1))
+            except (OSError, RuntimeError) as error:
+                self._degrade(error)
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        chunksize: Optional[int] = None,
+    ) -> List:
+        """Run ``fn`` over ``items``, results in input order.
+
+        ``fn`` is called as ``fn(item)`` -- or ``fn(context, item)``
+        when the executor carries a context.
+        """
+        items = list(items)
+        _SUBMITTED.inc(len(items))
+        if not self.parallel or len(items) <= 1:
+            return self._map_serial(fn, items)
+        runner = _run_plain if self.context is None else _run_with_context
+        payloads = [(fn, item) for item in items]
+        if chunksize is None:
+            chunksize = max(1, math.ceil(len(items) / (self.jobs * 2)))
+        try:
+            pool = self._ensure_pool()
+            results: List = []
+            for result, delta in pool.map(runner, payloads, chunksize=chunksize):
+                METRICS.merge_delta(delta)
+                results.append(result)
+                _COMPLETED.inc()
+            return results
+        except (OSError, RuntimeError) as error:
+            self._degrade(error)
+            return self._map_serial(fn, items)
+
+    def _map_serial(self, fn: Callable, items: List) -> List:
+        results = []
+        for item in items:
+            if self.context is None:
+                results.append(fn(item))
+            else:
+                results.append(fn(self.context, item))
+            _COMPLETED.inc()
+        return results
+
+    def _degrade(self, error: Exception) -> None:
+        """Pool unavailable (sandbox, broken worker): go serial for good."""
+        logger.warning("worker pool unavailable (%s); running serially", error)
+        _FALLBACKS.inc()
+        self._broken = True
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False)
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            self._pool = None

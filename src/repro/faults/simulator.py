@@ -9,7 +9,9 @@ fault-simulation workhorse the paper's coverage numbers rest on.
 
 from __future__ import annotations
 
+import logging
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -22,10 +24,26 @@ from repro.gates.sequential import SequentialSimulator
 from repro.gates.simulator import FaultSite
 from repro.obs import METRICS, profile_section
 
+logger = logging.getLogger("repro.faults.simulator")
+
 _BATCHES = METRICS.counter("faultsim.batches")
 _EVENTS = METRICS.counter("faultsim.events")
 _DROPPED = METRICS.counter("faultsim.faults.dropped")
 _SEQ_FAULTS = METRICS.counter("faultsim.sequential.faults")
+_SEQ_CHUNKS = METRICS.counter("faultsim.sequential.chunks")
+_CONE_BUILDS = METRICS.counter("faultsim.cone.builds")
+_CONE_REUSES = METRICS.counter("faultsim.cone.reuses")
+
+#: sequences packed per word in sequential grading; longer stimulus sets
+#: are chunked transparently (fault dropping carries across chunks)
+SEQUENCE_PACK_LIMIT = 256
+
+#: netlist -> {(observe key, fault site): cone} -- shared by every
+#: FaultSimulator on the same netlist (ATPG, compaction, and repeated
+#: grade calls re-walk identical fanout cones otherwise)
+_SHARED_CONES: "weakref.WeakKeyDictionary[GateNetlist, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
 
 _SOURCE_KINDS = (
     GateKind.INPUT,
@@ -76,14 +94,25 @@ class FaultSimulator:
         self._observe: Set[str] = set(observed)
         self._level: Dict[str, int] = {name: i for i, name in enumerate(self._sim.order)}
         self._fanout = netlist.fanout_map()
-        self._cone_cache: Dict[str, Tuple[List[str], List[str]]] = {}
+        # cones depend only on (netlist, observe set), so simulators on
+        # the same netlist share one cache keyed by the observe set
+        self._observe_key = frozenset(self._observe)
+        try:
+            self._cone_cache: Dict[Tuple, Tuple[List[str], List[str]]] = (
+                _SHARED_CONES.setdefault(netlist, {})
+            )
+        except TypeError:  # unweakrefable netlist stand-in (tests)
+            self._cone_cache = {}
 
     # ------------------------------------------------------------------
     def _cone(self, site_gate: str) -> Tuple[List[str], List[str]]:
         """(combinational gates downstream of site in level order, observed nets in cone)."""
-        cached = self._cone_cache.get(site_gate)
+        cache_key = (self._observe_key, site_gate)
+        cached = self._cone_cache.get(cache_key)
         if cached is not None:
+            _CONE_REUSES.inc()
             return cached
+        _CONE_BUILDS.inc()
         visited: Set[str] = set()
         stack = [site_gate]
         while stack:
@@ -101,7 +130,7 @@ class FaultSimulator:
         )
         observed = [name for name in visited if name in self._observe]
         result = (ordered, observed)
-        self._cone_cache[site_gate] = result
+        self._cone_cache[cache_key] = result
         return result
 
     # ------------------------------------------------------------------
@@ -261,11 +290,42 @@ def _sequential_grade(
         return result
 
     length = len(sequences[0])
-    if any(len(s) != length for s in sequences):
-        raise SimulationError("all sequences must have equal length")
+    for index, sequence in enumerate(sequences):
+        if len(sequence) != length:
+            raise SimulationError(
+                f"all sequences must have equal length: sequence {index} has "
+                f"{len(sequence)} cycles, expected {length}"
+            )
+
+    # words pack one bit per sequence, so stimulus sets beyond the pack
+    # limit are graded in chunks; dropped faults carry across chunks
+    if len(sequences) > SEQUENCE_PACK_LIMIT:
+        logger.debug(
+            "packing %d sequences in %d chunks of <= %d",
+            len(sequences),
+            -(-len(sequences) // SEQUENCE_PACK_LIMIT),
+            SEQUENCE_PACK_LIMIT,
+        )
+    alive = chosen
+    for start in range(0, len(sequences), SEQUENCE_PACK_LIMIT):
+        _SEQ_CHUNKS.inc()
+        group = sequences[start : start + SEQUENCE_PACK_LIMIT]
+        alive = _grade_sequence_group(netlist, group, length, alive, result)
+        if not alive:
+            break
+    result.undetected = alive
+    return result
+
+
+def _grade_sequence_group(
+    netlist: GateNetlist,
+    sequences: Sequence[Sequence[Pattern]],
+    length: int,
+    alive: List[Fault],
+    result: FaultSimResult,
+) -> List[Fault]:
+    """Grade one packed group of sequences; returns the surviving faults."""
     count = len(sequences)
-    if count > 256:
-        raise SimulationError("pack at most 256 sequences per grade call")
 
     # per-cycle packed input words across sequences
     cycle_inputs: List[Dict[str, int]] = []
@@ -282,7 +342,8 @@ def _sequential_grade(
     good_sim = SequentialSimulator(netlist, pattern_count=count)
     good_trace = good_sim.run_sequence(cycle_inputs)
 
-    for fault in chosen:
+    survivors: List[Fault] = []
+    for fault in alive:
         faulty_sim = SequentialSimulator(netlist, pattern_count=count, fault=fault.site())
         detected = False
         for cycle, outputs in enumerate(faulty_sim.run_sequence(cycle_inputs)):
@@ -294,5 +355,5 @@ def _sequential_grade(
             result.detected.append(fault)
             result.first_detection[fault] = cycle
         else:
-            result.undetected.append(fault)
-    return result
+            survivors.append(fault)
+    return survivors

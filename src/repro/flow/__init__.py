@@ -11,9 +11,9 @@
   configurations (Table 3).
 """
 
-from repro.flow.corelevel import CorePreparation, prepare_core
+from repro.flow.corelevel import CorePreparation, prepare_core, prepare_cores
 from repro.flow.system_netlist import flatten_soc
-from repro.flow.chiplevel import SocetRun, run_socet
+from repro.flow.chiplevel import SocetRun, run_socet, schedule_points
 from repro.flow.evaluate import SystemEvaluation, evaluate_system
 from repro.flow.profile import ProfileReport, profile_system
 from repro.flow.interconnect import (
@@ -36,9 +36,11 @@ from repro.flow.report import (
 __all__ = [
     "CorePreparation",
     "prepare_core",
+    "prepare_cores",
     "flatten_soc",
     "SocetRun",
     "run_socet",
+    "schedule_points",
     "SystemEvaluation",
     "evaluate_system",
     "ProfileReport",

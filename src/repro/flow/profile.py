@@ -62,22 +62,43 @@ class ProfileReport:
         return "\n".join(lines)
 
 
+def _profile_atpg_task(context, circuit) -> int:
+    """One core's ATPG regeneration (runs inside a worker)."""
+    import random
+
+    from repro.atpg.combinational import CombinationalAtpg
+    from repro.elaborate import elaborate
+    from repro.faults.collapse import collapse_faults
+    from repro.faults.model import full_fault_universe
+
+    seed, max_faults = context
+    netlist = elaborate(circuit).netlist
+    faults = None
+    if max_faults is not None:
+        universe = collapse_faults(netlist, full_fault_universe(netlist))
+        if len(universe) > max_faults:
+            faults = random.Random(seed).sample(universe, max_faults)
+    outcome = CombinationalAtpg(netlist, seed=seed).run(faults)
+    return len(outcome.patterns)
+
+
 def profile_system(
-    system: str, seed: int = 0, max_faults: Optional[int] = None
+    system: str,
+    seed: int = 0,
+    max_faults: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> ProfileReport:
     """Run every pipeline stage on ``system`` and collect the breakdown.
 
     ``max_faults`` caps the per-core ATPG fault list (a seeded sample of
     the collapsed universe) -- the CLI's ``--quick`` mode, which keeps
     every stage and counter live while cutting minutes to seconds.
+    ``jobs`` fans per-core ATPG and the design-space sweep over worker
+    processes; worker counters and stage timings merge back into the
+    registry, so the breakdown stays complete.
     """
-    import random
-
-    from repro.atpg.combinational import CombinationalAtpg
     from repro.designs import system_builders
-    from repro.elaborate import elaborate
-    from repro.faults.collapse import collapse_faults
-    from repro.faults.model import full_fault_universe
+    from repro.exec import ParallelExecutor
     from repro.soc.optimizer import SocetOptimizer, design_space
     from repro.soc.plan import plan_soc_test
 
@@ -94,20 +115,14 @@ def profile_system(
 
         # ATPG + fault-sim: regenerate each core's precomputed test set
         # (system builders ship vendor vector counts, so run it explicitly)
-        for core in soc.testable_cores():
-            logger.info("ATPG on %s", core.name)
-            netlist = elaborate(core.circuit).netlist
-            faults = None
-            if max_faults is not None:
-                universe = collapse_faults(netlist, full_fault_universe(netlist))
-                if len(universe) > max_faults:
-                    faults = random.Random(seed).sample(universe, max_faults)
-            CombinationalAtpg(netlist, seed=seed).run(faults)
+        circuits = [core.circuit for core in soc.testable_cores()]
+        with ParallelExecutor(jobs, context=(seed, max_faults)) as executor:
+            executor.map(_profile_atpg_task, circuits)
 
         # chip-level: the reservation-aware path search over the whole
         # design space (every version selection)
         plan = plan_soc_test(soc)
-        points = design_space(soc)
+        points = design_space(soc, jobs=jobs)
 
         # optimizer: iterative improvement up to the largest design's area
         budget = max(point.chip_cells for point in points)

@@ -221,10 +221,16 @@ class _Planner:
         self.forced_output_muxes = forced_output_muxes
         self.test_muxes: List[TestMux] = []
         self._mux_keys: Set[Tuple] = set()
+        #: dependency footprint of the core currently being planned
+        #: (core consulted -> version index), None when not tracking
+        self._deps: Optional[Dict[str, int]] = None
 
     def version_of(self, core_name: str) -> CoreVersion:
         core = self.soc.cores[core_name]
-        return core.version(self.selection.get(core_name, 0))
+        index = self.selection.get(core_name, 0)
+        if self._deps is not None:
+            self._deps[core_name] = index
+        return core.version(index)
 
     # ------------------------------------------------------------------
     # justification side
@@ -435,7 +441,7 @@ class _Planner:
                     )
                 )
 
-        cadence = _cadence(self.soc, self.selection, deliveries, observations)
+        cadence = _cadence(self.version_of, deliveries, observations)
         depth = core.scan_depth
         flush = max(0, depth - 1) + max((o.latency for o in observations), default=0)
         return CoreTestPlan(
@@ -456,12 +462,15 @@ def _terminal_slices(path) -> List[Tuple[str, int, int]]:
 
 
 def _cadence(
-    soc: Soc,
-    selection: Dict[str, int],
+    version_of,
     deliveries: List[Delivery],
     observations: List[Observation],
 ) -> int:
-    """max(longest path latency, busiest shared transparency resource)."""
+    """max(longest path latency, busiest shared transparency resource).
+
+    ``version_of`` is the planner's (dependency-tracking) version lookup,
+    so the plan cache sees the versions the cadence computation reads.
+    """
     longest = 1
     for delivery in deliveries:
         longest = max(longest, delivery.latency)
@@ -478,7 +487,7 @@ def _cadence(
             observation_usages[key] = max(observation_usages[key], count)
     combined.update(observation_usages)
     for (core_name, kind, key), count in combined.items():
-        version = soc.cores[core_name].version(selection.get(core_name, 0))
+        version = version_of(core_name)
         if kind == "justify":
             path = version.justify_paths.get(tuple(key))
         else:
@@ -500,6 +509,7 @@ def plan_soc_test(
     selection: Optional[Dict[str, int]] = None,
     allow_test_muxes: bool = True,
     forced_muxes: Optional[Set[Tuple[str, str]]] = None,
+    use_cache: Optional[bool] = None,
 ) -> SocTestPlan:
     """Plan the complete SOC test for one version selection.
 
@@ -507,7 +517,14 @@ def plan_soc_test(
     the minimum-area version, for every core).  ``forced_muxes`` is a set
     of ``(core, port)`` pairs that must be pin-connected via system-level
     test muxes (used by the optimizer's escalation step).
+
+    ``use_cache`` controls the incremental planning cache (see
+    :mod:`repro.exec.cache`): ``None`` follows the global default
+    (on unless ``REPRO_PLAN_CACHE=0``), ``True``/``False`` force it.
+    Cached and uncached plans are bit-identical.
     """
+    from repro.exec.cache import cache_enabled, plan_cache_for
+
     with profile_section("chiplevel.plan", soc=soc.name) as section:
         soc.validate()
         if selection is None:
@@ -521,9 +538,43 @@ def plan_soc_test(
             else:
                 forced_outputs.add((core_name, port))
         planner = _Planner(soc, selection, allow_test_muxes, forced_inputs, forced_outputs)
-        core_plans = {
-            core.name: planner.plan_core(core.name) for core in soc.testable_cores()
-        }
+        cache = None
+        if use_cache if use_cache is not None else cache_enabled():
+            cache = plan_cache_for(soc)
+        core_plans: Dict[str, CoreTestPlan] = {}
+        if cache is None:
+            for core in soc.testable_cores():
+                core_plans[core.name] = planner.plan_core(core.name)
+        else:
+            forced_key = (
+                frozenset(forced_inputs),
+                frozenset(forced_outputs),
+                allow_test_muxes,
+            )
+            for core in soc.testable_cores():
+                name = core.name
+                mux_state = frozenset(planner._mux_keys)
+                entry = cache.lookup(name, forced_key, mux_state, selection)
+                if entry is not None:
+                    # replay the side effects the original planning had
+                    planner._mux_keys.update(entry.added_mux_keys)
+                    planner.test_muxes.extend(entry.added_muxes)
+                    core_plans[name] = entry.plan
+                    continue
+                planner._deps = {}
+                muxes_before = len(planner.test_muxes)
+                keys_before = set(planner._mux_keys)
+                core_plans[name] = planner.plan_core(name)
+                cache.store(
+                    name,
+                    forced_key,
+                    mux_state,
+                    planner._deps,
+                    core_plans[name],
+                    planner.test_muxes[muxes_before:],
+                    frozenset(planner._mux_keys - keys_before),
+                )
+                planner._deps = None
         plan = SocTestPlan(
             soc=soc,
             selection=dict(selection),

@@ -1,0 +1,189 @@
+"""Tests for the parallel execution engine (``repro.exec``).
+
+Covers job-count resolution (flag > ``REPRO_JOBS`` > serial), ordered
+serial/parallel mapping, worker context delivery, cross-process metrics
+merging, graceful degradation to the serial path, and the headline
+guarantee: fan-out runs are bit-identical to serial ones.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import UsageError
+from repro.exec import JOBS_ENV, ParallelExecutor, resolve_jobs
+from repro.obs import METRICS
+
+
+# ----------------------------------------------------------------------
+# module-level task functions (must be picklable for the process pool)
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _with_context(context, x):
+    return context + x
+
+
+def _count_and_square(x):
+    METRICS.counter("test.exec.worker_calls").inc()
+    METRICS.histogram("test.exec.values").observe(x)
+    return x * x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_var_used_when_no_argument(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(0) == max(1, os.cpu_count() or 1)
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(UsageError, match="REPRO_JOBS"):
+            resolve_jobs()
+
+
+class TestSerialMap:
+    def test_results_in_order(self):
+        with ParallelExecutor(jobs=1) as executor:
+            assert not executor.parallel
+            assert executor.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_context_passed_first(self):
+        with ParallelExecutor(jobs=1, context=100) as executor:
+            assert executor.map(_with_context, [1, 2]) == [101, 102]
+
+    def test_counters_track_submissions(self):
+        submitted = METRICS.counter("exec.tasks.submitted").value
+        completed = METRICS.counter("exec.tasks.completed").value
+        with ParallelExecutor(jobs=1) as executor:
+            executor.map(_square, [1, 2, 3])
+        assert METRICS.counter("exec.tasks.submitted").value == submitted + 3
+        assert METRICS.counter("exec.tasks.completed").value == completed + 3
+
+
+class TestParallelMap:
+    def test_matches_serial(self):
+        items = list(range(20))
+        with ParallelExecutor(jobs=1) as serial:
+            expected = serial.map(_square, items)
+        with ParallelExecutor(jobs=2) as executor:
+            assert executor.map(_square, items) == expected
+
+    def test_context_passed_first(self):
+        with ParallelExecutor(jobs=2, context=1000) as executor:
+            assert executor.map(_with_context, [1, 2, 3, 4]) == [
+                1001,
+                1002,
+                1003,
+                1004,
+            ]
+
+    def test_single_item_stays_inline(self):
+        with ParallelExecutor(jobs=2) as executor:
+            assert executor.map(_square, [7]) == [49]
+            assert executor._pool is None  # no pool spun up for one task
+
+    def test_worker_metrics_merge_into_parent(self):
+        calls = METRICS.counter("test.exec.worker_calls").value
+        observed = METRICS.histogram("test.exec.values").count
+        with ParallelExecutor(jobs=2) as executor:
+            executor.map(_count_and_square, [1, 2, 3, 4, 5])
+        assert METRICS.counter("test.exec.worker_calls").value == calls + 5
+        assert METRICS.histogram("test.exec.values").count == observed + 5
+
+    def test_degrades_to_serial_on_pool_failure(self, monkeypatch):
+        fallbacks = METRICS.counter("exec.pool.fallbacks").value
+
+        executor = ParallelExecutor(jobs=2)
+
+        def explode():
+            raise OSError("no processes in this sandbox")
+
+        monkeypatch.setattr(executor, "_ensure_pool", explode)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert not executor.parallel  # broken pools stay serial
+        assert METRICS.counter("exec.pool.fallbacks").value == fallbacks + 1
+        # later maps skip the pool entirely and still work
+        assert executor.map(_square, [4, 5]) == [16, 25]
+        executor.close()
+
+
+def _quick_soc():
+    """Small three-core SOC with real transparency versions."""
+    from repro.designs import build_system1
+
+    return build_system1()
+
+
+class TestFanOutDeterminism:
+    """Parallel fan-out sites must be bit-identical to serial runs."""
+
+    def _point_key(self, point):
+        return (
+            tuple(sorted(point.selection.items())),
+            point.tat,
+            point.chip_cells,
+            tuple(str(m) for m in point.plan.test_muxes),
+            {name: p.tat for name, p in point.plan.core_plans.items()},
+        )
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_design_space_matches_serial(self, jobs):
+        from repro.soc.optimizer import design_space
+
+        serial = design_space(_quick_soc(), jobs=1, use_cache=False)
+        parallel = design_space(_quick_soc(), jobs=jobs, use_cache=False)
+        assert [self._point_key(p) for p in parallel] == [
+            self._point_key(p) for p in serial
+        ]
+
+    def test_schedule_points_matches_serial(self):
+        from repro.flow.chiplevel import schedule_points
+        from repro.soc.optimizer import design_space
+
+        points = design_space(_quick_soc(), jobs=1)
+        serial = schedule_points(points, jobs=1)
+        parallel = schedule_points(points, jobs=2)
+        assert [s.makespan for s in parallel] == [s.makespan for s in serial]
+        assert [len(s.sessions()) for s in parallel] == [
+            len(s.sessions()) for s in serial
+        ]
+
+    def test_prepare_cores_matches_serial(self):
+        from repro.designs import build_gcd, build_preprocessor
+        from repro.flow import prepare_cores
+
+        circuits = [build_gcd(), build_preprocessor()]
+        serial = prepare_cores(circuits, seed=0, jobs=1)
+        parallel = prepare_cores(circuits, seed=0, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.name == b.name
+            assert a.vector_count == b.vector_count
+            assert a.atpg.report.fault_coverage == b.atpg.report.fault_coverage
+            assert a.hscan.extra_area == b.hscan.extra_area
+            assert [v.name for v in a.versions] == [v.name for v in b.versions]
+
+    def test_run_socet_matches_serial(self):
+        from repro.flow.chiplevel import run_socet
+
+        serial = run_socet(_quick_soc(), jobs=1)
+        parallel = run_socet(_quick_soc(), jobs=2)
+        assert serial.min_area_plan.total_tat == parallel.min_area_plan.total_tat
+        assert serial.min_tat_plan.total_tat == parallel.min_tat_plan.total_tat
+        assert (
+            serial.min_area_schedule.makespan == parallel.min_area_schedule.makespan
+        )
+        assert [p.tat for p in serial.points] == [p.tat for p in parallel.points]

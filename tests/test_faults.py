@@ -185,6 +185,71 @@ class TestSequentialGrade:
         with pytest.raises(Exception):
             sequential_fault_grade(n, [[{"en": 1}], [{"en": 1}, {"en": 0}]], [])
 
+    def test_unequal_lengths_error_reports_counts(self):
+        from repro.errors import SimulationError
+
+        n = self.toggle()
+        with pytest.raises(SimulationError, match=r"sequence 1 has 2 cycles, expected 1"):
+            sequential_fault_grade(n, [[{"en": 1}], [{"en": 1}, {"en": 0}]], [])
+
+    def test_more_sequences_than_pack_limit_chunks(self, monkeypatch):
+        """Beyond-pack-limit stimulus sets grade in chunks instead of raising."""
+        import repro.faults.simulator as fsim
+
+        n = self.toggle()
+        faults = collapse_faults(n, full_fault_universe(n))
+        # one detecting sequence buried past the (shrunk) pack limit
+        sequences = [[{"en": 0}, {"en": 0}, {"en": 0}]] * 5 + [
+            [{"en": 1}, {"en": 0}, {"en": 0}]
+        ]
+        baseline = sequential_fault_grade(n, sequences, list(faults))
+
+        monkeypatch.setattr(fsim, "SEQUENCE_PACK_LIMIT", 2)
+        chunked = sequential_fault_grade(n, sequences, list(faults))
+        assert set(chunked.detected) == set(baseline.detected)
+        assert set(chunked.undetected) == set(baseline.undetected)
+        assert chunked.total == baseline.total
+
+    def test_large_pack_no_longer_raises(self, monkeypatch):
+        import repro.faults.simulator as fsim
+
+        n = self.toggle()
+        fault = Fault("q", None, 0)
+        monkeypatch.setattr(fsim, "SEQUENCE_PACK_LIMIT", 4)
+        sequences = [[{"en": 0}, {"en": 0}]] * 9 + [[{"en": 1}, {"en": 0}]] * 2
+        result = sequential_fault_grade(n, sequences, [fault])
+        assert result.total == 1
+        assert fault in result.detected
+
+
+class TestSharedConeCache:
+    def test_cones_shared_across_simulators(self):
+        """Two simulators over one netlist reuse the same cone entries."""
+        from repro.obs import METRICS
+
+        n = and_netlist()
+        faults = collapse_faults(n, full_fault_universe(n))
+        patterns = [{"a": 1, "b": 1}, {"a": 0, "b": 1}, {"a": 1, "b": 0}]
+
+        first = FaultSimulator(n)
+        first.run(patterns, list(faults))
+        builds_after_first = METRICS.counter("faultsim.cone.builds").value
+
+        reuses_before = METRICS.counter("faultsim.cone.reuses").value
+        second = FaultSimulator(n)
+        second.run(patterns, list(faults))
+        assert METRICS.counter("faultsim.cone.builds").value == builds_after_first
+        assert METRICS.counter("faultsim.cone.reuses").value > reuses_before
+
+    def test_shared_cache_results_identical(self):
+        n = fanout_netlist()
+        faults = collapse_faults(n, full_fault_universe(n))
+        patterns = [{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 1}]
+        cold = FaultSimulator(n).run(patterns, list(faults))
+        warm = FaultSimulator(n).run(patterns, list(faults))
+        assert cold.detected == warm.detected
+        assert cold.undetected == warm.undetected
+
 
 class TestCoverageReport:
     def test_metrics(self):
