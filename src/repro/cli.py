@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro compare System2           # SOCET vs FSCAN-BSCAN summary
     python -m repro schedule System3          # concurrent-session schedule
     python -m repro schedule System4 -p 80    # ...under a scan-power budget
+    python -m repro lint System3              # static design-rule check
+    python -m repro lint System3 --json       # ...as machine-readable JSON
     python -m repro profile System3           # per-stage time/counter breakdown
 
 Global observability flags work on every subcommand (before or after
@@ -205,6 +207,39 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import DEFAULT_REGISTRY, Severity, lint_soc
+
+    if args.rules:
+        rows = [
+            [rule.rule_id, rule.scope, rule.severity.label, rule.title]
+            for rule in DEFAULT_REGISTRY.rules()
+        ]
+        print(render_table(["rule", "scope", "severity", "checks that"], rows,
+                           title="registered lint rules"))
+        return 0
+    if not args.system:
+        raise UsageError("a SYSTEM argument is required (or use --rules)")
+    try:
+        fail_on = Severity.parse(args.fail_on)
+    except ValueError as error:
+        raise UsageError(str(error))
+    registry = DEFAULT_REGISTRY.clone()
+    for rule_id in args.disable or ():
+        if rule_id not in registry:
+            raise UsageError(
+                f"unknown rule {rule_id!r}; run 'repro lint --rules' for the list"
+            )
+        registry.disable(rule_id)
+    soc = _build_system(args.system)
+    report = lint_soc(soc, registry=registry)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 1 if report.has_at_least(fail_on) else 0
+
+
 #: --quick's per-core fault cap: small enough for seconds-long runs,
 #: large enough that PODEM still backtracks on every example core
 QUICK_MAX_FAULTS = 60
@@ -311,6 +346,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_schedule.set_defaults(func=cmd_schedule)
 
+    p_lint = sub.add_parser(
+        "lint", help="static design-rule check of a system", parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  clean: no diagnostics at or above --fail-on\n"
+            "  1  diagnostics at or above --fail-on were reported\n"
+            "  2  usage error (unknown system, rule, or severity)\n"
+        ),
+    )
+    p_lint.add_argument("system", nargs="?",
+                        help="system to lint (e.g. System1)")
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostics as a stable JSON document",
+    )
+    p_lint.add_argument(
+        "--fail-on", default="error", metavar="SEVERITY",
+        help="lowest severity that causes exit 1: error (default), "
+             "warning, or info",
+    )
+    p_lint.add_argument(
+        "--disable", action="append", metavar="RULE",
+        help="disable a rule by id (repeatable)",
+    )
+    p_lint.add_argument(
+        "--rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
     p_export = sub.add_parser("export", help="export a test plan as JSON", parents=[obs])
     p_export.add_argument("system")
     p_export.add_argument("-s", "--select", help="version selection, e.g. CPU=3")
@@ -348,6 +414,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         enable_tracing()
     try:
         status = args.func(args)
+    except UsageError as error:
+        # bad arguments exit 2, like argparse's own errors; real failures exit 1
+        print(f"repro: {error}", file=sys.stderr)
+        raise SystemExit(2)
     except ReproError as error:
         raise SystemExit(f"repro: {error}")
     finally:

@@ -135,8 +135,18 @@ def schedule_points(
             ]
 
 
-def run_socet(soc: Soc, jobs: Optional[int] = None) -> SocetRun:
-    """Sweep the design space and pick the paper's two extreme points."""
+def run_socet(soc: Soc, jobs: Optional[int] = None, strict: bool = False) -> SocetRun:
+    """Sweep the design space and pick the paper's two extreme points.
+
+    ``strict=True`` runs the structural design rules (:mod:`repro.lint`)
+    first and raises :class:`~repro.errors.LintError` on any error, so a
+    malformed SOC is rejected before the sweep spends ATPG or
+    fault-simulation cycles.
+    """
+    if strict:
+        from repro.lint import strict_gate_soc
+
+        strict_gate_soc(soc, gate="run_socet(strict=True)")
     with profile_section("chiplevel.run_socet", soc=soc.name):
         return _run_socet(soc, jobs)
 

@@ -1,0 +1,83 @@
+"""Concurrent-schedule design rules: resource exclusivity and scan power.
+
+These consume :meth:`~repro.schedule.timeline.TestSchedule.iter_violations`
+-- the same predicate the scheduler's own ``validate()`` enforces -- but
+report every violation as a structured diagnostic instead of raising on
+the first, and attribute each to the cores involved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity, location
+from repro.lint.registry import LintContext
+
+
+def check_infeasible(ctx: LintContext) -> Iterator[Diagnostic]:
+    """sched.infeasible: the schedule layer could be built at all."""
+    if ctx.schedule is None and ctx.schedule_error is not None:
+        yield Diagnostic(
+            rule="sched.infeasible",
+            severity=Severity.ERROR,
+            location=location(ctx.system, "schedule"),
+            message=f"test schedule cannot be built: {ctx.schedule_error}",
+            hint="relax the power budget or fix the plan errors above",
+        )
+
+
+def check_resource_conflicts(ctx: LintContext) -> Iterator[Diagnostic]:
+    """sched.resource-conflict: overlapping tests never share a resource."""
+    schedule = ctx.schedule
+    if schedule is None:
+        return
+    for violation in schedule.iter_violations():
+        if violation.kind != "resource":
+            continue
+        yield Diagnostic(
+            rule="sched.resource-conflict",
+            severity=Severity.ERROR,
+            location=location(
+                ctx.system, ("schedule", schedule.algorithm),
+                ("cores", "+".join(violation.cores)),
+            ),
+            message=violation.message,
+            hint="shift one test past the other or re-run the scheduler",
+        )
+
+
+def check_power_budget(ctx: LintContext) -> Iterator[Diagnostic]:
+    """sched.power-budget: concurrent scan activity stays under budget."""
+    schedule = ctx.schedule
+    if schedule is None:
+        return
+    for violation in schedule.iter_violations():
+        if violation.kind != "power":
+            continue
+        yield Diagnostic(
+            rule="sched.power-budget",
+            severity=Severity.ERROR,
+            location=location(
+                ctx.system, ("schedule", schedule.algorithm),
+                ("cores", "+".join(violation.cores)),
+            ),
+            message=violation.message,
+            hint="stagger the offending sessions or raise the budget",
+        )
+
+
+def register_rules(registry) -> None:
+    from repro.lint.registry import Rule
+
+    registry.register(Rule(
+        "sched.infeasible", "schedule", Severity.ERROR,
+        "the concurrent schedule can be constructed", check_infeasible,
+    ))
+    registry.register(Rule(
+        "sched.resource-conflict", "schedule", Severity.ERROR,
+        "overlapping tests occupy disjoint resources", check_resource_conflicts,
+    ))
+    registry.register(Rule(
+        "sched.power-budget", "schedule", Severity.ERROR,
+        "concurrent scan activity respects the budget", check_power_budget,
+    ))

@@ -1,0 +1,212 @@
+"""Transparency-mode design rules: static proofs over the RCG.
+
+Each synthesized :class:`~repro.transparency.versions.CoreVersion`
+declares justify/propagate paths with latencies; the planner and the
+TAT accounting trust them blindly.  These rules re-prove the claims
+without simulating:
+
+* every core input must propagate to some output (coverage), and every
+  output slice must be justifiable from inputs;
+* each declared latency must be *achievable*: an independent shortest-
+  path pass over the version's RCG establishes a lower bound, and a
+  declared latency below it is a lie the downstream cadence math would
+  silently absorb.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity, location
+from repro.lint.registry import LintContext
+
+
+def _shortest_latencies(rcg, reverse: bool = False) -> Dict[str, Dict[str, int]]:
+    """Min transfer latency between RCG components (Dijkstra per source).
+
+    Forward: from every input component to all others.  ``reverse``:
+    from every output component backwards along arcs (for justification).
+    Component-level, so the result is a lower bound on any slice-exact
+    path -- exactly what an achievability proof needs.
+    """
+    adjacency: Dict[str, list] = {}
+    for arc in rcg.arcs:
+        a, b = arc.source.comp, arc.dest.comp
+        if reverse:
+            a, b = b, a
+        adjacency.setdefault(a, []).append((b, arc.latency))
+
+    sources = rcg.output_names() if reverse else rcg.input_names()
+    results: Dict[str, Dict[str, int]] = {}
+    for source in sources:
+        dist = {source: 0}
+        heap = [(0, source)]
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if cost > dist.get(node, cost):
+                continue
+            for nxt, weight in adjacency.get(node, ()):
+                candidate = cost + weight
+                if candidate < dist.get(nxt, candidate + 1):
+                    dist[nxt] = candidate
+                    heapq.heappush(heap, (candidate, nxt))
+        results[source] = dist
+    return results
+
+
+def _iter_versions(ctx: LintContext):
+    if ctx.soc is None:
+        return
+    for core in ctx.soc.testable_cores():
+        for version in core.versions:
+            if version.rcg is not None:
+                yield core, version
+
+
+def check_input_propagation(ctx: LintContext) -> Iterator[Diagnostic]:
+    """trans.input-propagation: every core input reaches some output."""
+    for core, version in _iter_versions(ctx):
+        forward = _shortest_latencies(version.rcg)
+        outputs = set(version.rcg.output_names())
+        for input_name in sorted(version.rcg.input_names()):
+            where = location(
+                ctx.system, ("core", core.name),
+                ("version", version.index + 1), ("port", input_name),
+            )
+            declared = version.propagate_paths.get(input_name)
+            provable = any(out in forward.get(input_name, {}) for out in outputs)
+            if declared is None:
+                yield Diagnostic(
+                    rule="trans.input-propagation",
+                    severity=Severity.ERROR,
+                    location=where,
+                    message=(
+                        f"input {input_name!r} has no propagate path in "
+                        f"{version.name} of {core.name}"
+                        + ("" if provable else " and the RCG admits none")
+                    ),
+                    hint="regenerate versions, or add a transparency mux to an output",
+                )
+            elif not provable:
+                yield Diagnostic(
+                    rule="trans.input-propagation",
+                    severity=Severity.ERROR,
+                    location=where,
+                    message=(
+                        f"declared propagate path for {input_name!r} is not "
+                        f"supported by any RCG route to an output"
+                    ),
+                    hint="the version's RCG and its paths are out of sync; regenerate",
+                )
+
+
+def check_output_justification(ctx: LintContext) -> Iterator[Diagnostic]:
+    """trans.output-justification: every output slice justifiable from inputs."""
+    for core, version in _iter_versions(ctx):
+        backward = _shortest_latencies(version.rcg, reverse=True)
+        inputs = set(version.rcg.input_names())
+        for output in sorted(version.rcg.output_names()):
+            reachable = backward.get(output, {})
+            provable = any(name in reachable for name in inputs)
+            for piece in version.rcg.output_slices(output):
+                key = (piece.comp, piece.lo, piece.width)
+                where = location(
+                    ctx.system, ("core", core.name),
+                    ("version", version.index + 1), ("port", str(piece)),
+                )
+                if key not in version.justify_paths:
+                    yield Diagnostic(
+                        rule="trans.output-justification",
+                        severity=Severity.ERROR,
+                        location=where,
+                        message=(
+                            f"output slice {piece} has no justify path in "
+                            f"{version.name} of {core.name}"
+                            + ("" if provable else " and the RCG admits none")
+                        ),
+                        hint="regenerate versions, or add a transparency mux from an input",
+                    )
+                elif not provable:
+                    yield Diagnostic(
+                        rule="trans.output-justification",
+                        severity=Severity.ERROR,
+                        location=where,
+                        message=(
+                            f"declared justify path for {piece} is not supported "
+                            f"by any RCG route from an input"
+                        ),
+                        hint="the version's RCG and its paths are out of sync; regenerate",
+                    )
+
+
+def check_latency_claims(ctx: LintContext) -> Iterator[Diagnostic]:
+    """trans.latency-overrun: declared latencies are achievable lower bounds.
+
+    The shortest component-level route through the RCG can only be
+    *faster* than any real slice-exact path, so a declared latency below
+    that bound is provably wrong (it would shrink cadences and TAT).
+    """
+    for core, version in _iter_versions(ctx):
+        forward = _shortest_latencies(version.rcg)
+        backward = _shortest_latencies(version.rcg, reverse=True)
+        inputs = set(version.rcg.input_names())
+        for input_name, path in sorted(version.propagate_paths.items()):
+            bound = min(
+                (forward.get(input_name, {}).get(out)
+                 for out in version.rcg.output_names()
+                 if out in forward.get(input_name, {})),
+                default=None,
+            )
+            if bound is not None and path.latency < bound:
+                yield Diagnostic(
+                    rule="trans.latency-overrun",
+                    severity=Severity.ERROR,
+                    location=location(
+                        ctx.system, ("core", core.name),
+                        ("version", version.index + 1), ("port", input_name),
+                    ),
+                    message=(
+                        f"propagate path for {input_name!r} declares latency "
+                        f"{path.latency} but no RCG route is faster than {bound}"
+                    ),
+                    hint="recompute the path latency; the TAT model relies on it",
+                )
+        for key, path in sorted(version.justify_paths.items()):
+            reachable = backward.get(key[0], {})
+            bound = min(
+                (reachable[name] for name in inputs if name in reachable),
+                default=None,
+            )
+            if bound is not None and path.latency < bound:
+                yield Diagnostic(
+                    rule="trans.latency-overrun",
+                    severity=Severity.ERROR,
+                    location=location(
+                        ctx.system, ("core", core.name),
+                        ("version", version.index + 1),
+                        ("port", f"{key[0]}[{key[1]}+{key[2]}]"),
+                    ),
+                    message=(
+                        f"justify path for {key[0]}[{key[1]}+{key[2]}] declares "
+                        f"latency {path.latency} but no RCG route is faster than {bound}"
+                    ),
+                    hint="recompute the path latency; the TAT model relies on it",
+                )
+
+
+def register_rules(registry) -> None:
+    from repro.lint.registry import Rule
+
+    registry.register(Rule(
+        "trans.input-propagation", "soc", Severity.ERROR,
+        "every core input propagates to an output", check_input_propagation,
+    ))
+    registry.register(Rule(
+        "trans.output-justification", "soc", Severity.ERROR,
+        "every output slice justifies from inputs", check_output_justification,
+    ))
+    registry.register(Rule(
+        "trans.latency-overrun", "soc", Severity.ERROR,
+        "declared transparency latencies are achievable", check_latency_claims,
+    ))

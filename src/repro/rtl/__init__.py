@@ -24,7 +24,7 @@ from repro.rtl.types import (
 from repro.rtl.components import Component, Constant, Input, Mux, Operator, Output, Register
 from repro.rtl.circuit import RTLCircuit
 from repro.rtl.builder import CircuitBuilder
-from repro.rtl.validate import validate_circuit
+from repro.rtl.validate import CircuitProblem, iter_circuit_problems, validate_circuit
 
 __all__ = [
     "ComponentKind",
@@ -43,5 +43,7 @@ __all__ = [
     "Register",
     "RTLCircuit",
     "CircuitBuilder",
+    "CircuitProblem",
+    "iter_circuit_problems",
     "validate_circuit",
 ]

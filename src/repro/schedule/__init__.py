@@ -33,7 +33,12 @@ from repro.schedule.packers import (
     SessionPacker,
     get_scheduler,
 )
-from repro.schedule.timeline import ScheduledTest, Session, TestSchedule
+from repro.schedule.timeline import (
+    ScheduledTest,
+    ScheduleViolation,
+    Session,
+    TestSchedule,
+)
 
 __all__ = [
     "Resource",
@@ -48,6 +53,7 @@ __all__ = [
     "SessionPacker",
     "get_scheduler",
     "ScheduledTest",
+    "ScheduleViolation",
     "Session",
     "TestSchedule",
     "schedule_plan",
@@ -59,8 +65,20 @@ def schedule_plan(
     algorithm: str = "greedy",
     power_budget=None,
     include_bist: bool = False,
+    strict: bool = False,
 ) -> TestSchedule:
-    """Schedule a finished SOC test plan into concurrent sessions."""
+    """Schedule a finished SOC test plan into concurrent sessions.
+
+    ``strict=True`` runs the plan-scope design rules (:mod:`repro.lint`)
+    first and raises :class:`~repro.errors.LintError` if the plan's
+    internal invariants -- reservation windows, mux bookkeeping, TAT
+    accounting -- do not hold, so a corrupted plan never reaches the
+    packers.
+    """
+    if strict:
+        from repro.lint import strict_gate_plan
+
+        strict_gate_plan(plan)
     items = build_test_items(plan, include_bist=include_bist)
     scheduler = get_scheduler(algorithm, power_budget=power_budget)
     return scheduler.schedule(plan.soc.name, items)

@@ -157,11 +157,13 @@ class SocTestPlan:
         algorithm: str = "greedy",
         power_budget: Optional[int] = None,
         include_bist: bool = False,
+        strict: bool = False,
     ):
         """Pack the core tests into concurrent sessions (a TestSchedule).
 
         See :mod:`repro.schedule`; imported lazily because the scheduler
-        consumes finished plans.
+        consumes finished plans.  ``strict=True`` lints this plan first
+        and raises :class:`~repro.errors.LintError` on rule errors.
         """
         from repro.schedule import schedule_plan
 
@@ -170,6 +172,7 @@ class SocTestPlan:
             algorithm=algorithm,
             power_budget=power_budget,
             include_bist=include_bist,
+            strict=strict,
         )
 
     @property
@@ -510,6 +513,7 @@ def plan_soc_test(
     allow_test_muxes: bool = True,
     forced_muxes: Optional[Set[Tuple[str, str]]] = None,
     use_cache: Optional[bool] = None,
+    strict: bool = False,
 ) -> SocTestPlan:
     """Plan the complete SOC test for one version selection.
 
@@ -522,9 +526,18 @@ def plan_soc_test(
     :mod:`repro.exec.cache`): ``None`` follows the global default
     (on unless ``REPRO_PLAN_CACHE=0``), ``True``/``False`` force it.
     Cached and uncached plans are bit-identical.
+
+    ``strict=True`` runs the structural design rules (:mod:`repro.lint`,
+    circuit + soc + transparency scopes) before planning and raises
+    :class:`~repro.errors.LintError` on any rule error -- catching
+    malformed designs before a single ATPG or simulation cycle.
     """
     from repro.exec.cache import cache_enabled, plan_cache_for
 
+    if strict:
+        from repro.lint import strict_gate_soc
+
+        strict_gate_soc(soc)
     with profile_section("chiplevel.plan", soc=soc.name) as section:
         soc.validate()
         if selection is None:

@@ -1,0 +1,1 @@
+"""Test-only fixtures; deliberately broken designs live in broken_designs."""

@@ -1,0 +1,209 @@
+"""Deliberately broken designs for exercising the lint rules.
+
+Every fixture here violates exactly one design rule (plus whatever that
+implies) and is built *without* running the construction-time
+validators: circuits come from ``CircuitBuilder.circuit`` (the
+unvalidated container) or are tampered with after a valid build, plans
+and schedules are corrupted after construction.  None of these are
+registered with the example-design registry -- ``repro lint SystemN``
+never sees them.
+
+Keep each builder minimal: the lint tests assert that the *named* rule
+fires on its fixture, so an incidental second violation makes the test
+ambiguous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.rtl import CircuitBuilder, OpKind, Slice
+from repro.schedule import ScheduledTest, TestSchedule
+from repro.soc import Core, Soc, plan_soc_test
+
+
+# ----------------------------------------------------------------------
+# circuit-scope fixtures (rtl.*)
+# ----------------------------------------------------------------------
+def comb_loop_circuit():
+    """Two NOT gates feeding each other: rtl.comb-loop."""
+    b = CircuitBuilder("combloop")
+    din = b.input("DIN", 1)
+    a = b.op("A", OpKind.NOT, [Slice("B", 0, 1)], width=1)
+    b.op("B", OpKind.NOT, [a], width=1)
+    b.output("O", din)
+    return b.circuit()
+
+
+def undriven_circuit():
+    """A register that nothing drives: rtl.undriven."""
+    b = CircuitBuilder("undriven")
+    din = b.input("DIN", 4)
+    b.register("R", 4)
+    b.output("O", din)
+    return b.circuit()
+
+
+def width_mismatch_circuit():
+    """An 8-bit register rewired to a 4-bit driver: rtl.width-mismatch."""
+    b = CircuitBuilder("widths")
+    din = b.input("DIN", 8)
+    r = b.register("R", 8)
+    b.drive(r, din)
+    b.output("O", r)
+    circuit = b.build()
+    circuit.get("R").driver = Slice("DIN", 0, 4)
+    return circuit
+
+
+def unreachable_register_circuit():
+    """A register fed only by itself, no reset: rtl.unreachable-reg.
+
+    Structurally legal (the self-loop runs through a flip-flop), so this
+    one survives ``build()`` -- the point of the warning rule.
+    """
+    b = CircuitBuilder("unreach")
+    din = b.input("DIN", 4)
+    r = b.register("R", 4)
+    b.drive(r, r)
+    b.output("O", din)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# SOC-scope fixtures (soc.*, trans.*)
+# ----------------------------------------------------------------------
+def _passthrough(name: str, width: int = 8, depth: int = 1):
+    b = CircuitBuilder(name)
+    previous = b.input("IN", width)
+    for i in range(depth):
+        reg = b.register(f"R{i}", width)
+        b.drive(reg, previous)
+        previous = reg
+    b.output("OUT", previous)
+    return b.build()
+
+
+def _single_core_soc(name: str = "broken") -> Soc:
+    soc = Soc(name)
+    soc.add_core(Core.from_circuit(_passthrough("A"), test_vectors=4))
+    soc.add_input("PIN", 8)
+    soc.add_output("POUT", 8)
+    soc.wire(None, "PIN", "A", "IN")
+    soc.wire("A", "OUT", None, "POUT")
+    return soc
+
+
+def partially_driven_soc() -> Soc:
+    """Core input with only half its bits wired: soc.input-drivers."""
+    soc = Soc("halfwired")
+    soc.add_core(Core.from_circuit(_passthrough("A"), test_vectors=4))
+    soc.add_input("PIN", 8)
+    soc.add_output("POUT", 8)
+    soc.wire(None, "PIN", "A", "IN", width=4)
+    soc.wire("A", "OUT", None, "POUT")
+    return soc
+
+
+def doubly_driven_soc() -> Soc:
+    """Two nets landing on the same input bits: soc.input-drivers."""
+    soc = _single_core_soc("doubledriver")
+    soc.wire(None, "PIN", "A", "IN", width=4)
+    return soc
+
+
+def uncovered_input_soc() -> Soc:
+    """A version whose input lost its propagate path: trans.input-propagation."""
+    soc = _single_core_soc("uncovered")
+    version = soc.cores["A"].versions[0]
+    del version.propagate_paths["IN"]
+    return soc
+
+
+def unjustified_output_soc() -> Soc:
+    """A version whose output slice lost its justify path: trans.output-justification."""
+    soc = _single_core_soc("unjustified")
+    version = soc.cores["A"].versions[0]
+    key = sorted(version.justify_paths)[0]
+    del version.justify_paths[key]
+    return soc
+
+
+def lying_latency_soc() -> Soc:
+    """A propagate path claiming 0 cycles through a register: trans.latency-overrun."""
+    soc = _single_core_soc("lyinglatency")
+    version = soc.cores["A"].versions[0]
+    path = version.propagate_paths["IN"]
+    version.propagate_paths["IN"] = dataclasses.replace(path, latency=0)
+    return soc
+
+
+# ----------------------------------------------------------------------
+# plan-scope fixtures (plan.*)
+# ----------------------------------------------------------------------
+def _chain_soc(name: str = "chain") -> Soc:
+    """PI -> A(depth 2) -> B(depth 1) -> PO; B's test borrows A's transparency."""
+    soc = Soc(name)
+    soc.add_core(Core.from_circuit(_passthrough("A", depth=2), test_vectors=4))
+    soc.add_core(Core.from_circuit(_passthrough("B", depth=1), test_vectors=4))
+    soc.add_input("PIN", 8)
+    soc.add_output("POUT", 8)
+    soc.wire(None, "PIN", "A", "IN")
+    soc.wire("A", "OUT", "B", "IN")
+    soc.wire("B", "OUT", None, "POUT")
+    return soc
+
+
+def tampered_cadence_plan():
+    """A core plan's cadence squeezed below its reservations: plan.reservation-overlap."""
+    plan = plan_soc_test(_chain_soc("squeezedcadence"))
+    victim = max(plan.core_plans.values(), key=lambda cp: cp.cadence)
+    victim.cadence = 1 if victim.cadence > 1 else 0
+    return plan
+
+
+def mux_unrecorded_plan():
+    """A delivery claiming a test-mux fallback nobody recorded: plan.mux-unrecorded."""
+    plan = plan_soc_test(_chain_soc("phantommux"))
+    delivery = plan.core_plans["B"].deliveries[0]
+    delivery.via_test_mux = True
+    return plan
+
+
+def tat_inconsistent_plan():
+    """Flush and scan-step counts that contradict the core: plan.tat-consistency."""
+    plan = plan_soc_test(_chain_soc("cookedtat"))
+    core_plan = plan.core_plans["A"]
+    core_plan.scan_steps += 7
+    core_plan.flush += 3
+    return plan
+
+
+def bad_selection_plan():
+    """A selection naming a version the core does not have: plan.selection-range."""
+    plan = plan_soc_test(_chain_soc("badselection"))
+    plan.selection["A"] = 99
+    return plan
+
+
+# ----------------------------------------------------------------------
+# schedule-scope fixtures (sched.*)
+# ----------------------------------------------------------------------
+def double_booked_schedule() -> TestSchedule:
+    """Chained cores forced to start together: sched.resource-conflict."""
+    plan = plan_soc_test(_chain_soc("doublebooked"))
+    good = plan.schedule()
+    entries = [ScheduledTest(item=e.item, start=0) for e in good.entries]
+    return TestSchedule(soc_name=plan.soc.name, algorithm="manual", entries=entries)
+
+
+def over_budget_schedule() -> TestSchedule:
+    """A valid schedule re-labelled with an impossible power budget: sched.power-budget."""
+    plan = plan_soc_test(_chain_soc("overbudget"))
+    good = plan.schedule()
+    return TestSchedule(
+        soc_name=plan.soc.name,
+        algorithm="manual",
+        entries=list(good.entries),
+        power_budget=1,
+    )

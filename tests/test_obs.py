@@ -223,12 +223,13 @@ class TestCliObservability:
         assert "Metrics" in stdout
         assert "chiplevel.plans" in stdout
 
-    def test_usage_errors_become_systemexit(self):
+    def test_usage_errors_become_systemexit(self, capsys):
         from repro.cli import main
 
         with pytest.raises(SystemExit) as exc:
             main(["profile", "SystemX"])
-        assert "repro:" in str(exc.value)
+        assert exc.value.code == 2  # usage errors exit 2, message on stderr
+        assert "repro:" in capsys.readouterr().err
 
 
 class TestDeterminism:
