@@ -15,8 +15,9 @@ an 18% underestimate that would produce corrupted test data on silicon.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
+from repro.obs import METRICS
 from repro.util import render_table
 
 
@@ -38,8 +39,19 @@ def latency_models(soc):
 
 
 def test_ablation_shared_resource_rule(benchmark, system1_paper_vectors, results_dir):
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
     rows = benchmark.pedantic(
         latency_models, args=(system1_paper_vectors,), rounds=3, iterations=1
+    )
+    write_bench_json(
+        results_dir,
+        "ablation_reservations",
+        benchmark,
+        {
+            name: {"reserved": combined, "naive": naive, "tat": correct}
+            for name, combined, naive, correct, _naive_tat in rows
+        },
+        rounds=3,
     )
 
     table = [

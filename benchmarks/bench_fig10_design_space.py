@@ -15,10 +15,13 @@ the same qualitative shape:
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
+from repro.obs import METRICS
 from repro.soc import design_space
 from repro.util import render_table
+
+ROUNDS = 3
 
 
 def sweep(soc):
@@ -26,7 +29,20 @@ def sweep(soc):
 
 
 def test_fig10_design_space(benchmark, system1, results_dir):
-    points = benchmark.pedantic(sweep, args=(system1,), rounds=3, iterations=1)
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
+    points = benchmark.pedantic(sweep, args=(system1,), rounds=ROUNDS, iterations=1)
+    write_bench_json(
+        results_dir,
+        "fig10_design_space",
+        benchmark,
+        {
+            "points": len(points),
+            "min_tat": min(p.tat for p in points),
+            "max_tat": max(p.tat for p in points),
+            "min_area_cells": points[0].chip_cells,
+        },
+        rounds=ROUNDS,
+    )
 
     rows = [[p.index, p.chip_cells, p.tat, p.label()] for p in points]
     text = render_table(

@@ -13,7 +13,7 @@ latencies (the overhead cells follow our own cost model).
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.designs import build_cpu
 from repro.dft import insert_hscan
@@ -33,7 +33,23 @@ def generate_cpu_versions():
 
 
 def test_fig6_cpu_version_tradeoff(benchmark, results_dir):
-    versions = benchmark(generate_cpu_versions)
+    from repro.obs import METRICS
+
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
+    versions = benchmark.pedantic(generate_cpu_versions, rounds=3, iterations=1)
+    write_bench_json(
+        results_dir,
+        "fig6_cpu_versions",
+        benchmark,
+        {
+            version.name: {
+                "total_latency": version.justify_latency("Address"),
+                "extra_cells": version.extra_cells,
+            }
+            for version in versions
+        },
+        rounds=3,
+    )
 
     rows = []
     for version in versions:

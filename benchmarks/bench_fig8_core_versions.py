@@ -14,7 +14,7 @@ direct address-display path), so the propagate ladder diverges after V1
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.designs import build_display, build_preprocessor
 from repro.dft import insert_hscan
@@ -38,7 +38,20 @@ def _address_latency(version) -> int:
 
 
 def test_fig8_core_version_tradeoffs(benchmark, results_dir):
-    results = benchmark(generate_both)
+    from repro.obs import METRICS
+
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
+    results = benchmark.pedantic(generate_both, rounds=3, iterations=1)
+    write_bench_json(
+        results_dir,
+        "fig8_core_versions",
+        benchmark,
+        {
+            core: [version.extra_cells for version in versions]
+            for core, versions in results.items()
+        },
+        rounds=3,
+    )
 
     rows = []
     for version in results["PREPROCESSOR"]:

@@ -8,9 +8,10 @@ that claim on both systems.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.flow import bus_interconnect_report, interconnect_report
+from repro.obs import METRICS
 from repro.soc import plan_soc_test
 from repro.util import render_table
 
@@ -26,7 +27,22 @@ def reports(system1, system2):
 
 
 def test_interconnect_coverage(benchmark, system1, system2, results_dir):
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
     data = benchmark.pedantic(reports, args=(system1, system2), rounds=3, iterations=1)
+    write_bench_json(
+        results_dir,
+        "interconnect",
+        benchmark,
+        {
+            name: {
+                "socet_coverage_percent": socet.coverage_percent,
+                "bus_coverage_percent": bus.coverage_percent,
+                "logic_bits": socet.logic_bits,
+            }
+            for name, socet, bus in data
+        },
+        rounds=3,
+    )
 
     rows = []
     for name, socet, bus in data:

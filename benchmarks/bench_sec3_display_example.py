@@ -14,7 +14,7 @@ Every one of those numbers must come out of the generic planner.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.dft.tat import fscan_bscan_core_tat
 from repro.soc import plan_soc_test
@@ -38,7 +38,17 @@ def test_sec3_display_worked_example(benchmark, system1_paper_vectors, results_d
     assert display.test_vectors == 105
     assert display.hscan_vectors == 525  # 105 x (4+1)
 
-    plans = benchmark(plan_display_tests, soc)
+    from repro.obs import METRICS
+
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
+    plans = benchmark.pedantic(plan_display_tests, args=(soc,), rounds=3, iterations=1)
+    write_bench_json(
+        results_dir,
+        "sec3_display_example",
+        benchmark,
+        {f"cpu_v{cpu_version + 1}_tat": plan.tat for (cpu_version, _), plan in zip(CASES, plans)},
+        rounds=3,
+    )
 
     rows = []
     for (cpu_version, expected), plan in zip(CASES, plans):

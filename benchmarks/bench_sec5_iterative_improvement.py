@@ -16,8 +16,9 @@ latency number by 3 uses x (5-1) = 12 exactly.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
+from repro.obs import METRICS
 from repro.soc import plan_soc_test
 from repro.soc.optimizer import SocetOptimizer
 from repro.util import render_table
@@ -34,8 +35,19 @@ def improvement_numbers(soc):
 
 
 def test_sec5_latency_number_example(benchmark, system1, results_dir):
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
     plan, gains = benchmark.pedantic(
         improvement_numbers, args=(system1,), rounds=3, iterations=1
+    )
+    write_bench_json(
+        results_dir,
+        "sec5_iterative_improvement",
+        benchmark,
+        {
+            core: list(gain) if gain is not None else None
+            for core, gain in sorted(gains.items())
+        },
+        rounds=3,
     )
 
     usage = plan.usage_counts()

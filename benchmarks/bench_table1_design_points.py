@@ -17,8 +17,9 @@ simulation of the ATPG patterns (see bench_table3).
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
+from repro.obs import METRICS
 from repro.soc import design_space, plan_soc_test
 from repro.util import render_table
 
@@ -39,8 +40,23 @@ def characteristic_points(soc):
 
 
 def test_table1_design_points(benchmark, system1, results_dir):
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
     min_area, all_fast_plan, min_tat = benchmark.pedantic(
         characteristic_points, args=(system1,), rounds=3, iterations=1
+    )
+    write_bench_json(
+        results_dir,
+        "table1_design_points",
+        benchmark,
+        {
+            "min_area": {"cells": min_area.chip_cells, "tat": min_area.tat},
+            "min_latency": {
+                "cells": all_fast_plan.chip_dft_cells,
+                "tat": all_fast_plan.total_tat,
+            },
+            "min_tat": {"cells": min_tat.chip_cells, "tat": min_tat.tat},
+        },
+        rounds=3,
     )
 
     rows = [

@@ -19,9 +19,10 @@ core sizes; the *relations* the table demonstrates must hold here:
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.flow import render_area_table, run_socet
+from repro.obs import METRICS
 
 
 def both_runs(system1, system2):
@@ -29,7 +30,22 @@ def both_runs(system1, system2):
 
 
 def test_table2_area_overheads(benchmark, system1, system2, results_dir):
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
     run1, run2 = benchmark.pedantic(both_runs, args=(system1, system2), rounds=1, iterations=1)
+    write_bench_json(
+        results_dir,
+        "table2_area_overheads",
+        benchmark,
+        {
+            row.system: {
+                "fscan_percent": row.fscan_percent,
+                "hscan_percent": row.hscan_percent,
+                "socet_total_percent": row.socet_total_percent,
+            }
+            for row in (run1.area_rows()[0], run2.area_rows()[0])
+        },
+        rounds=1,
+    )
 
     rows = run1.area_rows() + run2.area_rows()
     text = render_area_table(rows)

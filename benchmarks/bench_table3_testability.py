@@ -24,9 +24,10 @@ per-core ATPG + fault simulation), so it runs one round.
 
 from __future__ import annotations
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.flow import evaluate_system, render_testability_table
+from repro.obs import METRICS
 
 
 def evaluate_both(system1, system2):
@@ -35,8 +36,22 @@ def evaluate_both(system1, system2):
 
 
 def test_table3_testability(benchmark, system1, system2, results_dir):
+    METRICS.reset()  # BENCH json carries exactly the measured runs' counters
     ev1, ev2 = benchmark.pedantic(
         evaluate_both, args=(system1, system2), rounds=1, iterations=1
+    )
+    write_bench_json(
+        results_dir,
+        "table3_testability",
+        benchmark,
+        {
+            evaluation.rows[0].system: {
+                row.configuration: {"fc": row.fault_coverage, "tat": row.tat}
+                for row in evaluation.rows
+            }
+            for evaluation in (ev1, ev2)
+        },
+        rounds=1,
     )
 
     rows = ev1.rows + ev2.rows

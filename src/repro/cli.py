@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro lint System3              # static design-rule check
     python -m repro lint System3 --json       # ...as machine-readable JSON
     python -m repro profile System3           # per-stage time/counter breakdown
+    python -m repro regress --ledger L.jsonl  # statistical regression gates
+    python -m repro report System1 --quick    # markdown/HTML run report
 
 Global observability flags work on every subcommand (before or after
 it): ``--trace FILE`` writes a Chrome ``trace_event`` JSON of the run,
@@ -245,6 +247,12 @@ def cmd_lint(args) -> int:
 QUICK_MAX_FAULTS = 60
 
 
+def _profile_series(system: str, quick: bool) -> str:
+    """The ledger series key for a profile variant (quick runs do less
+    work, so they must not share a baseline window with full runs)."""
+    return f"profile-{system}" + ("-quick" if quick else "")
+
+
 def cmd_profile(args) -> int:
     from repro.flow.profile import profile_system
 
@@ -256,6 +264,98 @@ def cmd_profile(args) -> int:
         jobs=getattr(args, "jobs", None),
     )
     print(report.render())
+    if args.ledger:
+        from repro.obs.ledger import RunLedger
+
+        record = report.ledger_record(bench=_profile_series(args.system, args.quick))
+        RunLedger(args.ledger).append(record)
+        print(f"appended {record['bench']} record to {args.ledger}", file=sys.stderr)
+    return 0
+
+
+def cmd_regress(args) -> int:
+    from repro.errors import RegressionError
+    from repro.obs.ledger import RunLedger
+    from repro.obs.regress import GatePolicy, compare_ledgers
+
+    candidate = RunLedger(args.ledger)
+    if not candidate.exists():
+        raise UsageError(f"ledger {args.ledger!r} does not exist")
+    baseline = None
+    if args.baseline:
+        baseline = RunLedger(args.baseline)
+        if not baseline.exists():
+            raise UsageError(f"baseline ledger {args.baseline!r} does not exist")
+    # empty prefixes would match every counter; drop them defensively
+    ignore = tuple(p for p in (args.ignore_counter or ()) if p)
+    policy = GatePolicy(
+        window=args.window,
+        min_ratio=args.min_ratio,
+        alpha=args.alpha,
+        small_sample_ratio=args.small_sample_ratio,
+        counter_ignore=ignore if args.ignore_counter else GatePolicy.counter_ignore,
+        wall_gate=args.wall_gate,
+        counter_gate=not args.no_counter_gate,
+    )
+    try:
+        report = compare_ledgers(
+            candidate, baseline, benches=args.bench or None, policy=policy
+        )
+    except RegressionError as error:
+        raise UsageError(str(error))
+    print(report.to_json() if args.json else report.render())
+    return report.exit_code()
+
+
+def cmd_report(args) -> int:
+    from repro.flow.profile import profile_system
+    from repro.obs import METRICS, TRACER, enable_tracing
+    from repro.obs.ledger import RunLedger
+    from repro.obs.report import build_run_report
+
+    series = _profile_series(args.system, args.quick)
+    was_enabled = TRACER.enabled
+    if not was_enabled:
+        enable_tracing()  # the waterfall is derived from trace spans
+    try:
+        profile = profile_system(
+            args.system,
+            seed=args.seed,
+            max_faults=QUICK_MAX_FAULTS if args.quick else None,
+            jobs=getattr(args, "jobs", None),
+        )
+    finally:
+        if not was_enabled:
+            TRACER.disable()
+    record = profile.ledger_record(bench=series)
+    baseline_record = None
+    if args.baseline:
+        baseline_ledger = RunLedger(args.baseline)
+        if not baseline_ledger.exists():
+            raise UsageError(f"baseline ledger {args.baseline!r} does not exist")
+        baseline_record = baseline_ledger.latest(series)
+    if args.ledger:
+        RunLedger(args.ledger).append(record)
+    report = build_run_report(
+        title=f"{args.system} pipeline",
+        record=record,
+        baseline=baseline_record,
+        trace_events=TRACER.events(),
+        registry=METRICS,
+        summary=profile.summary,
+        top_k=args.top,
+    )
+    rendered = {
+        "md": report.to_markdown,
+        "html": report.to_html,
+        "json": report.to_json,
+    }[args.format]()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + ("\n" if not rendered.endswith("\n") else ""))
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -393,7 +493,113 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="cap per-core ATPG at a sampled fault subset (seconds, not minutes)",
     )
+    p_profile.add_argument(
+        "--ledger", metavar="FILE",
+        help="append this run (samples + counters + env fingerprint) to a "
+             "JSONL run ledger",
+    )
     p_profile.set_defaults(func=cmd_profile)
+
+    p_regress = sub.add_parser(
+        "regress", help="statistical regression gates over a run ledger",
+        parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  pass: no wall-time regression, no counter drift\n"
+            "  1  regression: a series got significantly slower and/or a\n"
+            "     deterministic counter drifted (correctness alarm)\n"
+            "  2  usage error (missing ledger, unknown series)\n"
+            "  3  nothing compared (no series had enough baseline records)\n"
+        ),
+    )
+    p_regress.add_argument(
+        "bench", nargs="*",
+        help="series to gate (default: every series in the ledger)",
+    )
+    p_regress.add_argument(
+        "--ledger", default="benchmarks/results/ledger.jsonl", metavar="FILE",
+        help="candidate ledger; each series' newest record is gated "
+             "(default %(default)s)",
+    )
+    p_regress.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline ledger (e.g. the committed one); without it the "
+             "candidate ledger's own earlier records form the window",
+    )
+    p_regress.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="baseline records pooled per series (default %(default)s)",
+    )
+    p_regress.add_argument(
+        "--min-ratio", type=float, default=1.25, metavar="X",
+        help="median slowdown ratio below which the wall gate never trips "
+             "(default %(default)s)",
+    )
+    p_regress.add_argument(
+        "--alpha", type=float, default=0.05, metavar="A",
+        help="one-sided significance level of the rank test (default %(default)s)",
+    )
+    p_regress.add_argument(
+        "--small-sample-ratio", type=float, default=2.0, metavar="X",
+        help="pure-threshold fallback when significance is unreachable "
+             "(default %(default)s)",
+    )
+    p_regress.add_argument(
+        "--ignore-counter", action="append", metavar="PREFIX",
+        help="counter prefix excluded from the exact gate (repeatable; "
+             "default: exec.pool.)",
+    )
+    p_regress.add_argument(
+        "--wall-gate", default="auto", choices=["auto", "always", "off"],
+        help="auto (default) downgrades the wall gate to advisory when the "
+             "environment fingerprints differ",
+    )
+    p_regress.add_argument(
+        "--no-counter-gate", action="store_true",
+        help="disable the exact counter comparison",
+    )
+    p_regress.add_argument(
+        "--json", action="store_true",
+        help="emit the verdicts as a stable JSON document",
+    )
+    p_regress.set_defaults(func=cmd_regress)
+
+    p_report = sub.add_parser(
+        "report", help="run the pipeline, emit a markdown/HTML run report",
+        parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "The report combines the stage waterfall (from trace spans), the\n"
+            "top-k hotspots (from the profiler), and a counter diff against\n"
+            "the baseline ledger's newest record of the same series.\n"
+        ),
+    )
+    p_report.add_argument("system")
+    p_report.add_argument("--seed", type=int, default=0, help="ATPG seed (default 0)")
+    p_report.add_argument(
+        "--quick", action="store_true",
+        help="cap per-core ATPG at a sampled fault subset (seconds, not minutes)",
+    )
+    p_report.add_argument(
+        "-f", "--format", default="md", choices=["md", "html", "json"],
+        help="report format (default %(default)s)",
+    )
+    p_report.add_argument("-o", "--output", metavar="FILE",
+                          help="output file (default stdout)")
+    p_report.add_argument(
+        "--ledger", metavar="FILE",
+        help="also append this run's record to a JSONL run ledger",
+    )
+    p_report.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline ledger for the counter diff",
+    )
+    p_report.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="hotspot sections to show (default %(default)s)",
+    )
+    p_report.set_defaults(func=cmd_report)
     return parser
 
 

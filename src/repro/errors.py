@@ -84,3 +84,11 @@ class ObservabilityError(ReproError):
 
 class BenchSchemaError(ObservabilityError):
     """A BENCH_*.json or trace artifact violates the expected schema."""
+
+
+class LedgerSchemaError(ObservabilityError):
+    """A run-ledger record or JSONL file violates the ledger schema."""
+
+
+class RegressionError(ObservabilityError):
+    """The regression observatory could not compare runs (bad inputs)."""

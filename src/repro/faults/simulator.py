@@ -45,6 +45,18 @@ _SHARED_CONES: "weakref.WeakKeyDictionary[GateNetlist, Dict]" = (
     weakref.WeakKeyDictionary()
 )
 
+
+def clear_cone_caches() -> None:
+    """Drop every shared fanout-cone cache.
+
+    Cone reuse is a wall-time optimization, not a semantic one; callers
+    that need cache-warmth-independent counters (the bench harness, which
+    records ``faultsim.cone.builds``/``reuses`` in ledger records) clear
+    the shared state so a run counts the same whether or not an earlier
+    run in the process already walked the same netlists.
+    """
+    _SHARED_CONES.clear()
+
 _SOURCE_KINDS = (
     GateKind.INPUT,
     GateKind.CONST0,

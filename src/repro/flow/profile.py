@@ -34,6 +34,9 @@ class ProfileReport:
     stages: List[Dict] = field(default_factory=list)
     #: headline plan numbers (serial TAT, makespan, DFT cells)
     summary: Dict[str, int] = field(default_factory=dict)
+    #: the full registry counter snapshot after the run, zeros included
+    #: (the run ledger needs "zero" and "absent" to be different facts)
+    all_counters: Dict[str, int] = field(default_factory=dict)
 
     def stage(self, name: str) -> Dict:
         for row in self.stages:
@@ -47,6 +50,23 @@ class ProfileReport:
             for name, value in row["counters"].items():
                 merged[f"{row['prefix']}.{name}"] = value
         return merged
+
+    def ledger_record(self, bench: Optional[str] = None, results=None) -> Dict:
+        """This run as a ``repro-ledger`` record (see :mod:`repro.obs.ledger`).
+
+        ``bench`` defaults to ``profile-<system>``; pass an explicit
+        series key when variants (``--quick``, job counts) must not
+        share a baseline window.
+        """
+        from repro.obs.ledger import make_record
+
+        return make_record(
+            bench=bench or f"profile-{self.system}",
+            samples=[self.total_seconds],
+            counters=self.all_counters,
+            kind="profile",
+            results=results if results is not None else dict(self.summary),
+        )
 
     def render(self) -> str:
         from repro.flow.report import render_stage_table
@@ -145,5 +165,6 @@ def profile_system(
             "optimized TAT": optimized.total_tat,
             "min-area DFT cells": plan.chip_dft_cells,
         },
+        all_counters=dict(METRICS.counters()),
     )
     return report

@@ -30,6 +30,12 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
+from repro.obs.ledger import (
+    RunLedger,
+    environment_fingerprint,
+    make_record,
+    pooled_samples,
+)
 from repro.obs.metrics import (
     Counter,
     DEFAULT_REGISTRY,
@@ -43,6 +49,13 @@ from repro.obs.profiler import (
     profile_section,
     stage_rows,
 )
+from repro.obs.regress import (
+    GatePolicy,
+    RegressionReport,
+    compare_ledgers,
+    compare_records,
+)
+from repro.obs.report import RunReport, build_run_report
 from repro.obs.tracer import DEFAULT_TRACER, NOOP_SPAN, Span, Tracer
 
 #: process-wide singletons every instrumented module shares
@@ -63,6 +76,16 @@ __all__ = [
     "PIPELINE_STAGES",
     "profile_section",
     "stage_rows",
+    "RunLedger",
+    "make_record",
+    "environment_fingerprint",
+    "pooled_samples",
+    "GatePolicy",
+    "RegressionReport",
+    "compare_ledgers",
+    "compare_records",
+    "RunReport",
+    "build_run_report",
     "span",
     "enable_tracing",
     "disable_tracing",

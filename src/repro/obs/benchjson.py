@@ -7,16 +7,27 @@ by hand (no external JSON-schema dependency)::
 
     {
       "schema": "repro-bench",
-      "schema_version": 1,
+      "schema_version": 2,
       "bench": "schedule",          # short name, file is BENCH_<bench>.json
       "wall_time_s": 0.0042,        # mean wall time of the measured call
       "rounds": 3,                  # timing rounds the mean is over
+      "samples": [0.0041, ...],     # v2: per-round raw wall times (seconds)
       "counters": {"schedule.reservation.waits": 7, ...},
       "results": {...}              # bench-specific payload (free-form)
     }
 
-Run ``python -m repro.obs.benchjson FILE...`` to validate bench files
-and exported Chrome traces (CI fails the job on any schema error).
+Version history:
+
+* **v1** -- mean wall time only, and only non-zero counters.
+* **v2** -- adds per-round raw ``samples`` (the mean alone makes
+  statistics impossible) and records *every* touched counter, zeros
+  included, so a counter diff can distinguish "zero" from "absent".
+  v1 files still validate (the ``samples`` requirement is gated on the
+  declared ``schema_version``).
+
+Run ``python -m repro.obs.benchjson FILE...`` to validate bench files,
+exported Chrome traces, and ``*.jsonl`` run ledgers (CI fails the job
+on any schema error).
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ from repro.errors import BenchSchemaError
 from repro.obs.metrics import DEFAULT_REGISTRY, MetricsRegistry
 
 SCHEMA = "repro-bench"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _REQUIRED_FIELDS = {
     "schema": str,
@@ -48,18 +59,29 @@ def bench_payload(
     results,
     rounds: int = 1,
     registry: Optional[MetricsRegistry] = None,
+    samples: Optional[Sequence[float]] = None,
 ) -> Dict:
-    """Build a schema-valid bench document (counters from the registry)."""
+    """Build a schema-valid bench document (counters from the registry).
+
+    With ``samples`` (the per-round raw wall times) the payload is
+    schema v2; without, it stays a v1 document for callers that only
+    have a mean.  Counters record every touched instrument, zeros
+    included -- the regression gate needs "zero" and "absent" to be
+    different facts.
+    """
     registry = registry if registry is not None else DEFAULT_REGISTRY
     payload = {
         "schema": SCHEMA,
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": SCHEMA_VERSION if samples is not None else 1,
         "bench": bench,
         "wall_time_s": float(wall_time_s),
         "rounds": int(rounds),
-        "counters": {k: v for k, v in registry.counters().items() if v},
+        "counters": dict(registry.counters()),
         "results": results,
     }
+    if samples is not None:
+        payload["samples"] = [float(value) for value in samples]
+        payload["rounds"] = len(payload["samples"])
     validate_bench(payload)
     return payload
 
@@ -88,8 +110,30 @@ def validate_bench(payload: Dict) -> None:
         for key, value in payload["counters"].items():
             if not isinstance(key, str) or not isinstance(value, (int, float)):
                 problems.append(f"counter {key!r} is not a string->number entry")
+        if payload["schema_version"] >= 2:
+            problems.extend(_sample_problems(payload))
+        elif "samples" in payload:
+            problems.append("v1 payload carries a 'samples' field; declare v2")
     if problems:
         raise BenchSchemaError("; ".join(problems))
+
+
+def _sample_problems(payload: Dict) -> List[str]:
+    """The v2 ``samples`` constraints (shared with the run ledger)."""
+    samples = payload.get("samples")
+    if not isinstance(samples, list) or not samples:
+        return ["v2 payload requires a non-empty 'samples' list"]
+    problems = []
+    for index, value in enumerate(samples):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"sample {index} is not a number")
+        elif value < 0:
+            problems.append(f"sample {index} is negative")
+    if not problems and payload.get("rounds") != len(samples):
+        problems.append(
+            f"rounds is {payload.get('rounds')} but {len(samples)} samples recorded"
+        )
+    return problems
 
 
 def validate_chrome_trace(payload) -> None:
@@ -119,17 +163,27 @@ def write_bench(path: str, payload: Dict) -> str:
 
 
 def validate_file(path: str) -> str:
-    """Validate one artifact (bench JSON or Chrome trace) by content."""
+    """Validate one artifact (bench JSON, Chrome trace, or run ledger)."""
+    from repro.obs.ledger import LEDGER_SCHEMA, validate_ledger_file, validate_record
+
+    if str(path).endswith(".jsonl"):
+        validate_ledger_file(path)
+        return "ledger"
     with open(path) as handle:
         payload = json.load(handle)
     if isinstance(payload, dict) and payload.get("schema") == SCHEMA:
         validate_bench(payload)
         return "bench"
+    if isinstance(payload, dict) and payload.get("schema") == LEDGER_SCHEMA:
+        validate_record(payload)
+        return "ledger-record"
     validate_chrome_trace(payload)
     return "trace"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import ObservabilityError
+
     paths = list(sys.argv[1:] if argv is None else argv)
     if not paths:
         print("usage: python -m repro.obs.benchjson FILE [FILE...]", file=sys.stderr)
@@ -138,7 +192,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for path in paths:
         try:
             kind = validate_file(path)
-        except (OSError, ValueError, BenchSchemaError) as error:
+        except (OSError, ValueError, ObservabilityError) as error:
             print(f"FAIL {path}: {error}")
             failures += 1
         else:

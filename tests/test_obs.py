@@ -170,6 +170,50 @@ class TestBenchJson:
         assert loaded["counters"] == {"schedule.items": 8}
         assert loaded["rounds"] == 3
 
+    def test_v2_payload_carries_raw_samples(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("schedule.items").inc(8)
+        payload = bench_payload(
+            "schedule", 0.004, {}, registry=registry,
+            samples=[0.0041, 0.0039, 0.0040],
+        )
+        assert payload["schema_version"] == 2
+        assert payload["samples"] == [0.0041, 0.0039, 0.0040]
+        assert payload["rounds"] == 3  # rounds follows the sample count
+        path = tmp_path / "BENCH_schedule.json"
+        write_bench(str(path), payload)
+        assert validate_file(str(path)) == "bench"
+
+    def test_zero_valued_counters_are_recorded(self):
+        registry = MetricsRegistry()
+        registry.counter("a.touched_zero")  # created, never incremented
+        registry.counter("a.nonzero").inc(2)
+        payload = bench_payload("x", 0.1, {}, registry=registry)
+        # "zero" and "absent" must be different facts for counter diffs
+        assert payload["counters"] == {"a.touched_zero": 0, "a.nonzero": 2}
+
+    def test_v1_payloads_still_validate(self):
+        v1 = {
+            "schema": "repro-bench", "schema_version": 1, "bench": "old",
+            "wall_time_s": 0.1, "rounds": 5, "counters": {}, "results": {},
+        }
+        validate_bench(v1)  # no samples required at v1
+        with pytest.raises(BenchSchemaError, match="declare v2"):
+            validate_bench(dict(v1, samples=[0.1]))
+
+    def test_v2_sample_constraints(self):
+        good = bench_payload(
+            "x", 0.1, {}, registry=MetricsRegistry(), samples=[0.1, 0.2]
+        )
+        with pytest.raises(BenchSchemaError, match="non-empty"):
+            validate_bench(dict(good, samples=[]))
+        with pytest.raises(BenchSchemaError, match="negative"):
+            validate_bench(dict(good, samples=[0.1, -0.2]))
+        with pytest.raises(BenchSchemaError, match="rounds is 9"):
+            validate_bench(dict(good, rounds=9))
+        with pytest.raises(BenchSchemaError, match="newer"):
+            validate_bench(dict(good, schema_version=3))
+
     def test_validate_rejects_bad_payloads(self):
         with pytest.raises(BenchSchemaError):
             validate_bench({"schema": "repro-bench"})  # missing fields
