@@ -37,6 +37,9 @@ import repro.exec.pool  # noqa: F401
 import repro.faults.simulator  # noqa: F401
 import repro.lint.registry  # noqa: F401
 import repro.schedule.packers  # noqa: F401
+import repro.serve.daemon  # noqa: F401
+import repro.serve.jobs  # noqa: F401
+import repro.serve.state  # noqa: F401
 import repro.soc.ccg  # noqa: F401
 import repro.soc.optimizer  # noqa: F401
 import repro.soc.plan  # noqa: F401

@@ -15,6 +15,9 @@ Usage (after ``pip install -e .``)::
     python -m repro profile System3           # per-stage time/counter breakdown
     python -m repro regress --ledger L.jsonl  # statistical regression gates
     python -m repro report System1 --quick    # markdown/HTML run report
+    python -m repro serve                     # resident planning daemon
+    python -m repro submit sweep System1 --wait   # ...job via the daemon
+    python -m repro jobs                      # ...daemon job/queue status
 
 Global observability flags work on every subcommand (before or after
 it): ``--trace FILE`` writes a Chrome ``trace_event`` JSON of the run,
@@ -131,17 +134,33 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def render_sweep(system: str, points: List[Dict]) -> str:
+    """The ``repro sweep`` output over plain point dicts.
+
+    Shared by the one-shot command and ``repro submit sweep --wait``
+    (which gets the same dicts over the wire), so the two paths are
+    byte-identical by construction.
+    """
+    rows = [[p["index"], p["chip_cells"], p["tat"], p["label"]] for p in points]
+    table = render_table(["pt", "chip cells", "TAT", "versions"], rows,
+                         title=f"{system}: design space")
+    best = min(points, key=lambda p: (p["tat"], p["chip_cells"]))
+    return (f"{table}\n"
+            f"\nmin-area: point 1 ({points[0]['tat']} cycles); "
+            f"min-TAT: point {best['index']} ({best['tat']} cycles, "
+            f"{best['label']})")
+
+
 def cmd_sweep(args) -> int:
     from repro.soc import design_space
 
     soc = _build_system(args.system)
     points = design_space(soc, jobs=getattr(args, "jobs", None))
-    rows = [[p.index, p.chip_cells, p.tat, p.label()] for p in points]
-    print(render_table(["pt", "chip cells", "TAT", "versions"], rows,
-                       title=f"{soc.name}: design space"))
-    best = min(points, key=lambda p: (p.tat, p.chip_cells))
-    print(f"\nmin-area: point 1 ({points[0].tat} cycles); "
-          f"min-TAT: point {best.index} ({best.tat} cycles, {best.label()})")
+    print(render_sweep(soc.name, [
+        {"index": p.index, "chip_cells": p.chip_cells, "tat": p.tat,
+         "label": p.label()}
+        for p in points
+    ]))
     return 0
 
 
@@ -242,11 +261,6 @@ def cmd_lint(args) -> int:
     return 1 if report.has_at_least(fail_on) else 0
 
 
-#: --quick's per-core fault cap: small enough for seconds-long runs,
-#: large enough that PODEM still backtracks on every example core
-QUICK_MAX_FAULTS = 60
-
-
 def _profile_series(system: str, quick: bool) -> str:
     """The ledger series key for a profile variant (quick runs do less
     work, so they must not share a baseline window with full runs)."""
@@ -254,7 +268,7 @@ def _profile_series(system: str, quick: bool) -> str:
 
 
 def cmd_profile(args) -> int:
-    from repro.flow.profile import profile_system
+    from repro.flow.profile import QUICK_MAX_FAULTS, profile_system
 
     max_faults = QUICK_MAX_FAULTS if args.quick else None
     report = profile_system(
@@ -308,7 +322,7 @@ def cmd_regress(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.flow.profile import profile_system
+    from repro.flow.profile import QUICK_MAX_FAULTS, profile_system
     from repro.obs import METRICS, TRACER, enable_tracing
     from repro.obs.ledger import RunLedger
     from repro.obs.report import build_run_report
@@ -356,6 +370,120 @@ def cmd_report(args) -> int:
         print(f"wrote {args.format} report to {args.output}")
     else:
         print(rendered)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serving
+# ----------------------------------------------------------------------
+#: where ``repro submit``/``repro jobs`` connect by default (the
+#: daemon's default listen address)
+DEFAULT_SERVE_ADDRESS = "127.0.0.1:7457"
+
+
+def _wire_selection(spec: Optional[str]) -> Optional[Dict[str, int]]:
+    """A ``CORE=N,...`` string as the wire's 1-based selection mapping.
+
+    Only the shape is checked here -- unknown cores and out-of-range
+    versions are validated daemon-side against the warm SOC.
+    """
+    if not spec:
+        return None
+    selection: Dict[str, int] = {}
+    for item in spec.split(","):
+        try:
+            core_name, version = item.split("=")
+            selection[core_name] = int(version)
+        except ValueError:
+            raise UsageError(f"bad selection item {item!r}; expected CORE=N")
+    return selection
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, ServeDaemon
+
+    daemon = ServeDaemon(ServeConfig(
+        address=args.listen,
+        jobs=getattr(args, "jobs", None),
+        ledger=args.ledger,
+        max_queue=args.max_queue,
+        address_file=args.address_file,
+    ))
+    return daemon.run()
+
+
+def _connect_client(address: str):
+    from repro.serve import ServeClient
+
+    try:
+        return ServeClient(address)
+    except OSError as error:
+        raise UsageError(f"cannot connect to daemon at {address!r}: {error}")
+
+
+def _submit_params(args) -> Dict:
+    selection = _wire_selection(args.select)
+    if args.type == "plan":
+        return {"select": selection} if selection else {}
+    if args.type == "sweep":
+        return {"selections": [selection]} if selection else {}
+    if args.type == "profile":
+        return {"quick": args.quick, "seed": args.seed}
+    return {}
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    with _connect_client(args.connect) as client:
+        job_id = client.submit(
+            args.type,
+            args.system,
+            params=_submit_params(args),
+            priority=args.priority,
+            timeout_s=args.timeout,
+            tenant=args.tenant,
+        )
+        if not args.wait:
+            print(job_id)
+            return 0
+        descriptor, result = client.wait(job_id)
+    if descriptor["state"] != "done":
+        print(f"repro: job {job_id} {descriptor['state']}: "
+              f"{descriptor['error']}", file=sys.stderr)
+        return 1
+    if args.json or args.type != "sweep":
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        # same renderer as `repro sweep`, so the outputs are identical
+        print(render_sweep(result["system"], result["points"]))
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    import json
+
+    with _connect_client(args.connect) as client:
+        listing = client.jobs()
+        stats = client.stats()
+    if args.json:
+        print(json.dumps({"jobs": listing, "stats": stats},
+                         indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [job["id"], job["type"], job["system"] or "-", job["tenant"],
+         job["priority"], job["state"],
+         "-" if job["wall_s"] is None else f"{job['wall_s']:.3f}s"]
+        for job in listing
+    ]
+    print(render_table(
+        ["job", "type", "system", "tenant", "prio", "state", "wall"],
+        rows, title=f"jobs on {args.connect}",
+    ))
+    print(f"\nqueue depth: {stats['queue_depth']}; "
+          f"result cache: {stats['result_cache']['size']} entries "
+          f"({stats['result_cache']['hits']} hits); "
+          f"draining: {stats['draining']}")
     return 0
 
 
@@ -548,7 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_regress.add_argument(
         "--ignore-counter", action="append", metavar="PREFIX",
         help="counter prefix excluded from the exact gate (repeatable; "
-             "default: exec.pool.)",
+             "default: exec., serve.)",
     )
     p_regress.add_argument(
         "--wall-gate", default="auto", choices=["auto", "always", "off"],
@@ -600,6 +728,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="hotspot sections to show (default %(default)s)",
     )
     p_report.set_defaults(func=cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the resident planning daemon", parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Speaks the line-delimited JSON 'repro-serve' protocol (see\n"
+            "DESIGN.md) over TCP or a unix-domain socket.  SIGTERM (or the\n"
+            "'shutdown' op) drains gracefully: queued jobs finish, results\n"
+            "flush to --ledger, exit 0.  A second SIGTERM cancels the queue.\n"
+        ),
+    )
+    p_serve.add_argument(
+        "--listen", default=DEFAULT_SERVE_ADDRESS, metavar="ADDR",
+        help="HOST:PORT (port 0 = ephemeral) or unix:PATH "
+             "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--ledger", metavar="FILE",
+        help="flush the session's per-job samples to this JSONL run "
+             "ledger on drain (kind 'serve')",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="queued-job capacity before submissions are rejected "
+             "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--address-file", metavar="FILE",
+        help="write the bound address here once listening (readiness "
+             "signal; resolves ephemeral ports)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a job to a running daemon", parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  submitted (or, with --wait, the job finished 'done')\n"
+            "  1  the awaited job failed / was cancelled / timed out, or\n"
+            "     the daemon rejected the request (queue full, draining)\n"
+            "  2  usage error (bad selection, unreachable daemon)\n"
+        ),
+    )
+    p_submit.add_argument("type", choices=["plan", "sweep", "profile", "lint"],
+                          help="job type")
+    p_submit.add_argument("system", help="system to operate on (e.g. System1)")
+    p_submit.add_argument(
+        "-s", "--select", help="version selection, e.g. CPU=3,DISPLAY=1 "
+                               "(plan and sweep jobs)",
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=0, metavar="N",
+        help="queue priority; higher runs first (default %(default)s)",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="per-job execution timeout in seconds",
+    )
+    p_submit.add_argument(
+        "--tenant", default="default", metavar="NAME",
+        help="tenant tag for per-tenant accounting (default %(default)s)",
+    )
+    p_submit.add_argument(
+        "--quick", action="store_true",
+        help="profile jobs: cap per-core ATPG at a sampled fault subset",
+    )
+    p_submit.add_argument("--seed", type=int, default=0,
+                          help="profile jobs: ATPG seed (default 0)")
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="with --wait: print the raw JSON result (sweep jobs render "
+             "the 'repro sweep' table by default)",
+    )
+    p_submit.add_argument(
+        "--connect", default=DEFAULT_SERVE_ADDRESS, metavar="ADDR",
+        help="daemon address (default %(default)s)",
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a running daemon's jobs and stats", parents=[obs]
+    )
+    p_jobs.add_argument(
+        "--connect", default=DEFAULT_SERVE_ADDRESS, metavar="ADDR",
+        help="daemon address (default %(default)s)",
+    )
+    p_jobs.add_argument(
+        "--json", action="store_true",
+        help="emit jobs and stats as a JSON document",
+    )
+    p_jobs.set_defaults(func=cmd_jobs)
     return parser
 
 

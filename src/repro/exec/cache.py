@@ -46,6 +46,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.errors import UsageError
 from repro.obs import METRICS
 
 CACHE_ENV = "REPRO_PLAN_CACHE"
@@ -54,14 +55,29 @@ _HITS = METRICS.counter("exec.cache.hits")
 _MISSES = METRICS.counter("exec.cache.misses")
 _INVALIDATIONS = METRICS.counter("exec.cache.invalidations")
 
+_TRUTHY = ("", "1", "true", "on", "yes")
+_FALSY = ("0", "false", "off", "no")
+
 
 def cache_enabled() -> bool:
-    """The global default (on unless ``REPRO_PLAN_CACHE`` disables it)."""
-    return os.environ.get(CACHE_ENV, "1").strip().lower() not in (
-        "0",
-        "false",
-        "off",
-        "no",
+    """The global default (on unless ``REPRO_PLAN_CACHE`` disables it).
+
+    Accepts the usual boolean spellings (case-insensitive); anything
+    else raises :class:`UsageError` naming the offending value -- a
+    typo like ``REPRO_PLAN_CACHE=fales`` must not silently flip the
+    caching behaviour.
+    """
+    raw = os.environ.get(CACHE_ENV)
+    if raw is None:
+        return True
+    value = raw.strip().lower()
+    if value in _TRUTHY:
+        return True
+    if value in _FALSY:
+        return False
+    raise UsageError(
+        f"{CACHE_ENV}={raw!r} is not a boolean "
+        f"(use one of {_TRUTHY[1:] + _FALSY})"
     )
 
 

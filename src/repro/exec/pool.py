@@ -38,6 +38,7 @@ JOBS_ENV = "REPRO_JOBS"
 _SUBMITTED = METRICS.counter("exec.tasks.submitted")
 _COMPLETED = METRICS.counter("exec.tasks.completed")
 _FALLBACKS = METRICS.counter("exec.pool.fallbacks")
+_REUSES = METRICS.counter("exec.pool.reuses")
 _WORKERS = METRICS.gauge("exec.pool.workers")
 
 
@@ -116,6 +117,10 @@ class ParallelExecutor:
                 initargs=(self.context,),
             )
             _WORKERS.set(self.jobs)
+        else:
+            # keep-alive reuse: the pool survives across map() calls (and,
+            # in the serve daemon, across client requests) until close()
+            _REUSES.inc()
         return self._pool
 
     def warm(self) -> "ParallelExecutor":

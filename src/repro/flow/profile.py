@@ -102,6 +102,13 @@ def _profile_atpg_task(context, circuit) -> int:
     return len(outcome.patterns)
 
 
+#: quick mode's per-core fault cap (``--quick`` in the CLI, the
+#: ``quick`` param of a serve ``profile`` job): small enough for
+#: seconds-long runs, large enough that PODEM still backtracks on
+#: every example core
+QUICK_MAX_FAULTS = 60
+
+
 def profile_system(
     system: str,
     seed: int = 0,

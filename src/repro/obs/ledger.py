@@ -8,9 +8,9 @@ versioned::
 
     {
       "schema": "repro-ledger",
-      "schema_version": 1,
+      "schema_version": 2,
       "bench": "schedule",              # series key (bench or profile name)
-      "kind": "bench",                  # "bench" | "profile"
+      "kind": "bench",                  # "bench" | "profile" | "serve"
       "timestamp": "2026-08-06T12:00:00Z",
       "git_sha": "b9c0110...",          # null outside a git checkout
       "samples": [0.0041, 0.0043],      # per-round raw wall times (seconds)
@@ -49,10 +49,13 @@ from repro.obs.metrics import DEFAULT_REGISTRY, MetricsRegistry
 _APPENDS = DEFAULT_REGISTRY.counter("ledger.appends")
 
 LEDGER_SCHEMA = "repro-ledger"
-LEDGER_SCHEMA_VERSION = 1
+#: version history: 1 -- initial (kinds "bench"/"profile");
+#: 2 -- adds kind "serve" (a planning-daemon session: ``samples`` are
+#: per-job wall seconds, ``results`` the job summaries and tenants)
+LEDGER_SCHEMA_VERSION = 2
 
 #: record kinds the schema admits
-RECORD_KINDS = ("bench", "profile")
+RECORD_KINDS = ("bench", "profile", "serve")
 
 _REQUIRED_FIELDS = {
     "schema": str,

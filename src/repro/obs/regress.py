@@ -183,8 +183,10 @@ class GatePolicy:
     #: layer is execution-strategy bookkeeping -- pool sizing, task
     #: chunking, cache warmth -- that varies with the job count and
     #: prior runs, while the *work* counters merged back from workers
-    #: stay bit-identical at any job count.
-    counter_ignore: Tuple[str, ...] = ("exec.",)
+    #: stay bit-identical at any job count.  ``serve.`` counters track
+    #: daemon load (batching, queue depth, result-cache warmth) and
+    #: depend on request arrival timing, not on the planned work.
+    counter_ignore: Tuple[str, ...] = ("exec.", "serve.")
     #: "auto" (downgrade on env mismatch), "always", or "off"
     wall_gate: str = "auto"
     #: exact counter comparison on/off

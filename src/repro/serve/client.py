@@ -1,0 +1,155 @@
+"""Synchronous client for the ``repro serve`` daemon.
+
+A thin, dependency-free wrapper over one socket connection speaking the
+:mod:`repro.serve.protocol` line protocol::
+
+    with ServeClient("127.0.0.1:7457") as client:
+        job_id = client.submit("sweep", "System1")
+        descriptor, result = client.wait(job_id)
+
+Every method sends one request line and blocks for the matching
+response line.  Daemon-side error envelopes are raised as
+:class:`~repro.errors.ServeError` carrying the wire error code, so
+callers can distinguish ``queue-full`` from ``unknown-system`` without
+parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ServeError
+from repro.serve import protocol
+
+
+class ServeClient:
+    """One connection to a planning daemon (sync, context-managed)."""
+
+    def __init__(self, address: str, timeout: Optional[float] = None) -> None:
+        self.address = address
+        kind, value = protocol.parse_address(address)
+        if kind == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(value)
+        else:
+            self._sock = socket.create_connection(value, timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields) -> Dict[str, Any]:
+        """Send one request, return the daemon's ``ok`` envelope.
+
+        Raises :class:`ServeError` (with the wire code) on an error
+        envelope, :class:`ProtocolError` on a malformed response.
+        """
+        self._sock.sendall(protocol.encode(protocol.request_envelope(op, **fields)))
+        line = self._reader.readline()
+        if not line:
+            raise ServeError("daemon closed the connection", code="disconnected")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ProtocolError(f"response is not JSON: {error}")
+        if not isinstance(response, dict) or response.get("schema") != protocol.PROTOCOL:
+            raise ProtocolError(f"response is not a {protocol.PROTOCOL} envelope")
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("message", "daemon error"),
+                code=error.get("code", "error"),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # op wrappers
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def submit(
+        self,
+        job_type: str,
+        system: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        tenant: str = "default",
+    ) -> str:
+        """Enqueue a job; returns its id."""
+        response = self.request(
+            "submit",
+            job={
+                "type": job_type,
+                "system": system,
+                "params": params or {},
+                "priority": priority,
+                "timeout_s": timeout_s,
+                "tenant": tenant,
+            },
+        )
+        return response["id"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("status", id=job_id)["job"]
+
+    def result(self, job_id: str) -> Tuple[Dict[str, Any], Any]:
+        """(descriptor, result) of a terminal job; ``not-done`` otherwise."""
+        response = self.request("result", id=job_id)
+        return response["job"], response["result"]
+
+    def wait(
+        self, job_id: str, timeout_s: Optional[float] = None
+    ) -> Tuple[Dict[str, Any], Any]:
+        """Block (server-side) until the job is terminal.
+
+        With ``timeout_s``, returns early with ``result=None`` and a
+        non-terminal descriptor if the job is still going.
+        """
+        response = self.request("wait", id=job_id, timeout_s=timeout_s)
+        return response["job"], response["result"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("cancel", id=job_id)["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request("jobs")["jobs"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def shutdown(self, hard: bool = False) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit (same path as SIGTERM)."""
+        return self.request("shutdown", hard=hard)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job_type: str,
+        system: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+        **submit_kwargs,
+    ) -> Any:
+        """Submit + wait; returns the result, raises on a failed job."""
+        job_id = self.submit(job_type, system, params, **submit_kwargs)
+        descriptor, result = self.wait(job_id)
+        if descriptor["state"] != "done":
+            raise ServeError(
+                f"job {job_id} {descriptor['state']}: {descriptor['error']}",
+                code=f"job-{descriptor['state']}",
+            )
+        return result

@@ -1,0 +1,265 @@
+"""The ``repro-serve`` wire protocol: versioned line-delimited JSON.
+
+One request per line, one response per line, UTF-8 JSON, over TCP or a
+unix-domain socket.  Every envelope is self-describing and versioned,
+like the ``repro-ledger`` schema::
+
+    -> {"schema": "repro-serve", "schema_version": 1,
+        "op": "submit",
+        "job": {"type": "sweep", "system": "System1",
+                "params": {}, "priority": 0,
+                "timeout_s": null, "tenant": "default"}}
+    <- {"schema": "repro-serve", "schema_version": 1, "ok": true,
+        "op": "submit", "id": "j0001", "state": "queued"}
+
+Error responses carry a machine-readable code::
+
+    <- {"schema": "repro-serve", "schema_version": 1, "ok": false,
+        "error": {"code": "unknown-system", "message": "..."}}
+
+Operations (``op``):
+
+==========  ==========================================================
+``ping``    liveness + server identity/uptime
+``submit``  enqueue a job (see :data:`JOB_TYPES`); returns its id
+``status``  one job's descriptor (no result payload)
+``result``  descriptor + result payload of a finished job
+``wait``    like ``result`` but blocks server-side until the job is
+            terminal (optional ``timeout_s`` returns the descriptor
+            early, still running)
+``cancel``  cancel a queued job, or request cooperative cancellation
+            of the running one
+``jobs``    recent job descriptors, newest last
+``stats``   queue depth, tenants, warm-state and batching counters
+``shutdown``  drain and exit (same path as SIGTERM)
+==========  ==========================================================
+
+Error codes: ``bad-request`` (malformed envelope / JSON),
+``unsupported-version`` (``schema_version`` newer than the server),
+``unknown-op``, ``unknown-job``, ``unknown-system``, ``not-done``
+(``result`` before the job is terminal), ``queue-full``, ``draining``
+(submissions after drain started), ``oversized`` (request line above
+:data:`MAX_LINE_BYTES`).
+
+A job is terminal in exactly one of ``done`` / ``failed`` /
+``cancelled`` / ``timeout``; job-level failures (a plan that raises)
+are reported in the job descriptor, never as protocol errors.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+PROTOCOL = "repro-serve"
+PROTOCOL_VERSION = 1
+
+#: job types the daemon executes.  ``plan``/``sweep``/``lint`` are pure
+#: functions of (system, params) and served from the result cache when
+#: warm; ``profile`` re-measures every time; ``sleep`` is a diagnostic
+#: job (load generation, cancellation/timeout tests) that holds the
+#: runner for ``params.seconds`` with cooperative checkpoints.
+JOB_TYPES = ("plan", "sweep", "profile", "lint", "sleep")
+
+#: ops a client may send
+OPS = (
+    "ping",
+    "submit",
+    "status",
+    "result",
+    "wait",
+    "cancel",
+    "jobs",
+    "stats",
+    "shutdown",
+)
+
+#: requests above this size are rejected with code ``oversized``
+MAX_LINE_BYTES = 1 << 20
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+#: ops that do not name a system (everything else requires one)
+_SYSTEMLESS_TYPES = ("sleep",)
+
+
+# ----------------------------------------------------------------------
+# envelopes
+# ----------------------------------------------------------------------
+def request_envelope(op: str, **fields) -> Dict[str, Any]:
+    """A client request envelope (validated server-side on arrival)."""
+    envelope: Dict[str, Any] = {
+        "schema": PROTOCOL,
+        "schema_version": PROTOCOL_VERSION,
+        "op": op,
+    }
+    envelope.update(fields)
+    return envelope
+
+
+def response_ok(op: str, **fields) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {
+        "schema": PROTOCOL,
+        "schema_version": PROTOCOL_VERSION,
+        "ok": True,
+        "op": op,
+    }
+    envelope.update(fields)
+    return envelope
+
+
+def response_error(code: str, message: str) -> Dict[str, Any]:
+    return {
+        "schema": PROTOCOL,
+        "schema_version": PROTOCOL_VERSION,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def encode(envelope: Dict[str, Any]) -> bytes:
+    """One envelope as one wire line (sorted keys, trailing newline)."""
+    return (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse and validate one request line into its envelope.
+
+    Raises :class:`ProtocolError` with the wire error code on any
+    violation; the daemon converts that straight into an error response.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line is {len(line)} bytes (limit {MAX_LINE_BYTES})",
+            code="oversized",
+        )
+    try:
+        envelope = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(f"request is not JSON: {error}")
+    if not isinstance(envelope, dict):
+        raise ProtocolError("request must be a JSON object")
+    if envelope.get("schema") != PROTOCOL:
+        raise ProtocolError(
+            f"schema is {envelope.get('schema')!r}, expected {PROTOCOL!r}"
+        )
+    version = envelope.get("schema_version")
+    if not isinstance(version, int):
+        raise ProtocolError("schema_version must be an integer")
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"schema_version {version} is newer than {PROTOCOL_VERSION}",
+            code="unsupported-version",
+        )
+    op = envelope.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}", code="unknown-op")
+    return envelope
+
+
+# ----------------------------------------------------------------------
+# job specs
+# ----------------------------------------------------------------------
+def validate_job_spec(spec: Any) -> Dict[str, Any]:
+    """Normalize a ``submit`` job spec (type/system/params/priority/...).
+
+    Returns the canonical spec dict the daemon enqueues; raises
+    :class:`ProtocolError` on shape problems.  Semantic problems that
+    need warm state (an unknown core in a selection) surface later as a
+    *failed job*, not a protocol error.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("job spec must be an object")
+    job_type = spec.get("type")
+    if job_type not in JOB_TYPES:
+        raise ProtocolError(f"job type {job_type!r} not in {JOB_TYPES}")
+    system = spec.get("system")
+    if job_type in _SYSTEMLESS_TYPES:
+        system = None
+    elif not isinstance(system, str) or not system:
+        raise ProtocolError(f"job type {job_type!r} requires a 'system' string")
+    params = spec.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        raise ProtocolError("job params must be an object")
+    priority = spec.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError("priority must be an integer (higher runs first)")
+    timeout_s = spec.get("timeout_s")
+    if timeout_s is not None:
+        if not isinstance(timeout_s, (int, float)) or isinstance(timeout_s, bool):
+            raise ProtocolError("timeout_s must be a number or null")
+        if timeout_s <= 0:
+            raise ProtocolError("timeout_s must be positive")
+    tenant = spec.get("tenant", "default")
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise ProtocolError(
+            "tenant must match [A-Za-z0-9_.-]{1,64}", code="bad-request"
+        )
+    return {
+        "type": job_type,
+        "system": system,
+        "params": dict(params),
+        "priority": priority,
+        "timeout_s": None if timeout_s is None else float(timeout_s),
+        "tenant": tenant,
+    }
+
+
+def canonical_params_key(job_type: str, system: Optional[str], params: Dict) -> str:
+    """The result-cache key: job identity as canonical JSON.
+
+    Two requests with equal keys are interchangeable -- the daemon may
+    serve the second from the first's memoized result (``plan`` /
+    ``sweep`` / ``lint`` only; ``profile`` is a measurement and is
+    never cached).
+    """
+    return json.dumps(
+        {"type": job_type, "system": system, "params": params}, sort_keys=True
+    )
+
+
+# ----------------------------------------------------------------------
+# addresses
+# ----------------------------------------------------------------------
+def parse_address(spec: str) -> Tuple[str, Any]:
+    """Parse an address spec into ``("tcp", (host, port))`` or ``("unix", path)``.
+
+    Accepted forms: ``HOST:PORT`` (TCP; port 0 binds an ephemeral
+    port), ``unix:PATH``, or a bare path containing ``/`` (unix-domain
+    socket).
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ProtocolError(f"empty serve address {spec!r}")
+    spec = spec.strip()
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ProtocolError("unix: address needs a socket path")
+        return ("unix", path)
+    if "/" in spec:
+        return ("unix", spec)
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(
+            f"serve address {spec!r} is not HOST:PORT or unix:PATH"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ProtocolError(f"serve address port {port_text!r} is not an integer")
+    if not 0 <= port <= 65535:
+        raise ProtocolError(f"serve address port {port} out of range")
+    return ("tcp", (host, port))
+
+
+def format_address(kind: str, value: Any) -> str:
+    """The canonical printable form clients can connect to."""
+    if kind == "unix":
+        return f"unix:{value}"
+    host, port = value
+    return f"{host}:{port}"
