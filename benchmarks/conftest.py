@@ -166,6 +166,7 @@ def write_bench_json(
     from repro.obs.ledger import RunLedger, make_record
 
     samples = [float(value) for value in benchmark.stats.stats.data]
+    histograms = METRICS.histograms()
     payload = bench_payload(
         bench=name,
         wall_time_s=benchmark.stats.stats.mean,
@@ -173,6 +174,7 @@ def write_bench_json(
         rounds=rounds,
         registry=METRICS,
         samples=samples,
+        histograms=histograms or None,
     )
     path = results_dir / f"BENCH_{name}.json"
     write_bench(str(path), payload)
@@ -183,6 +185,7 @@ def write_bench_json(
             samples=samples,
             counters=payload["counters"],
             kind="bench",
+            histograms=histograms or None,
         )
     )
     print(f"[bench json written to {path}; run appended to {ledger.path}]")

@@ -18,6 +18,7 @@ Usage (after ``pip install -e .``)::
     python -m repro serve                     # resident planning daemon
     python -m repro submit sweep System1 --wait   # ...job via the daemon
     python -m repro jobs                      # ...daemon job/queue status
+    python -m repro top 127.0.0.1:7457        # ...live daemon dashboard
 
 Global observability flags work on every subcommand (before or after
 it): ``--trace FILE`` writes a Chrome ``trace_event`` JSON of the run,
@@ -310,6 +311,9 @@ def cmd_regress(args) -> int:
         counter_ignore=ignore if args.ignore_counter else GatePolicy.counter_ignore,
         wall_gate=args.wall_gate,
         counter_gate=not args.no_counter_gate,
+        hist_gate=not args.no_hist_gate,
+        hist_percentile=args.hist_percentile,
+        hist_min_ratio=args.hist_min_ratio,
     )
     try:
         report = compare_ledgers(
@@ -432,9 +436,26 @@ def _submit_params(args) -> Dict:
     return {}
 
 
+def _write_job_trace(path: str, job_id: str, spans: List[Dict]) -> None:
+    """The job's span tree as a Chrome ``trace_event`` file."""
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(
+            {"traceEvents": spans, "displayTimeUnit": "ms",
+             "metadata": {"job": job_id}},
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"wrote job trace to {path}", file=sys.stderr)
+
+
 def cmd_submit(args) -> int:
     import json
 
+    if args.job_trace and not args.wait:
+        raise UsageError("--job-trace requires --wait (spans exist once the "
+                         "job is terminal)")
     with _connect_client(args.connect) as client:
         job_id = client.submit(
             args.type,
@@ -448,6 +469,8 @@ def cmd_submit(args) -> int:
             print(job_id)
             return 0
         descriptor, result = client.wait(job_id)
+        if args.job_trace:
+            _write_job_trace(args.job_trace, job_id, client.spans(job_id))
     if descriptor["state"] != "done":
         print(f"repro: job {job_id} {descriptor['state']}: "
               f"{descriptor['error']}", file=sys.stderr)
@@ -485,6 +508,16 @@ def cmd_jobs(args) -> int:
           f"({stats['result_cache']['hits']} hits); "
           f"draining: {stats['draining']}")
     return 0
+
+
+def cmd_top(args) -> int:
+    from repro.serve.top import run_top
+
+    if args.interval <= 0:
+        raise UsageError("--interval must be positive")
+    return run_top(
+        args.address, interval=args.interval, once=args.once, expo=args.expo
+    )
 
 
 # ----------------------------------------------------------------------
@@ -634,9 +667,10 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "exit codes:\n"
-            "  0  pass: no wall-time regression, no counter drift\n"
-            "  1  regression: a series got significantly slower and/or a\n"
-            "     deterministic counter drifted (correctness alarm)\n"
+            "  0  pass: no wall-time regression, counter drift, or SLO breach\n"
+            "  1  regression: a series got significantly slower, a\n"
+            "     deterministic counter drifted (correctness alarm), and/or a\n"
+            "     latency percentile breached its SLO ratio\n"
             "  2  usage error (missing ledger, unknown series)\n"
             "  3  nothing compared (no series had enough baseline records)\n"
         ),
@@ -686,6 +720,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_regress.add_argument(
         "--no-counter-gate", action="store_true",
         help="disable the exact counter comparison",
+    )
+    p_regress.add_argument(
+        "--no-hist-gate", action="store_true",
+        help="disable the latency-percentile SLO gate",
+    )
+    p_regress.add_argument(
+        "--hist-percentile", default="p99", choices=["p50", "p90", "p99"],
+        help="histogram percentile the SLO gate compares (default %(default)s)",
+    )
+    p_regress.add_argument(
+        "--hist-min-ratio", type=float, default=1.5, metavar="X",
+        help="percentile ratio vs the baseline median below which the SLO "
+             "gate never trips (default %(default)s)",
     )
     p_regress.add_argument(
         "--json", action="store_true",
@@ -807,6 +854,12 @@ def build_parser() -> argparse.ArgumentParser:
              "the 'repro sweep' table by default)",
     )
     p_submit.add_argument(
+        "--job-trace", metavar="FILE",
+        help="with --wait: write the job's daemon-side span tree "
+             "(validate -> queue-wait -> coalesce -> run -> serialize) as a "
+             "Chrome trace_event file",
+    )
+    p_submit.add_argument(
         "--connect", default=DEFAULT_SERVE_ADDRESS, metavar="ADDR",
         help="daemon address (default %(default)s)",
     )
@@ -824,6 +877,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit jobs and stats as a JSON document",
     )
     p_jobs.set_defaults(func=cmd_jobs)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a running daemon",
+        parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Polls the daemon's 'stats' and 'metrics' ops and renders queue\n"
+            "depth, job states, tenant rollups, p50/p99 latency summaries\n"
+            "(with deltas between frames), and the counters that moved.\n"
+            "Ctrl-C exits cleanly.\n"
+        ),
+    )
+    p_top.add_argument(
+        "address", nargs="?", default=DEFAULT_SERVE_ADDRESS,
+        help="daemon address (default %(default)s)",
+    )
+    p_top.add_argument(
+        "-n", "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between frames (default %(default)s)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (scriptable)",
+    )
+    p_top.add_argument(
+        "--expo", action="store_true",
+        help="print the raw Prometheus exposition instead of the dashboard "
+             "(the CI scrape path)",
+    )
+    p_top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -12,6 +12,16 @@ bit-identical to the serial one.  Three rules keep that guarantee:
   into the parent registry in submission order, so counter totals and
   stage histograms match the serial run's.
 
+Tracing crosses the process boundary the same way the metrics do: when
+the parent tracer is enabled, every ``map()`` runs under an
+``exec.pool.dispatch`` span whose serialized context ships with each
+task payload.  Workers adopt the context (enablement follows the
+parent -- a worker never silently no-ops a span the parent wanted),
+record spans locally, and return them alongside the metrics delta; the
+parent absorbs them under the dispatch span and counts them on
+``exec.pool.spans_shipped``.  With tracing disabled the context is
+``None`` and the worker side skips the tracer entirely.
+
 The job count resolves explicit argument > ``REPRO_JOBS`` env var > 1
 (serial).  ``jobs=0`` means "one per CPU".  With ``jobs=1`` -- the
 default everywhere -- no pool is created and tasks run inline, which is
@@ -28,7 +38,7 @@ import os
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import UsageError
-from repro.obs import METRICS
+from repro.obs import METRICS, TRACER
 
 logger = logging.getLogger("repro.exec.pool")
 
@@ -39,6 +49,7 @@ _SUBMITTED = METRICS.counter("exec.tasks.submitted")
 _COMPLETED = METRICS.counter("exec.tasks.completed")
 _FALLBACKS = METRICS.counter("exec.pool.fallbacks")
 _REUSES = METRICS.counter("exec.pool.reuses")
+_SPANS_SHIPPED = METRICS.counter("exec.pool.spans_shipped")
 _WORKERS = METRICS.gauge("exec.pool.workers")
 
 
@@ -68,18 +79,33 @@ def _worker_init(context: Any) -> None:
     _WORKER_CONTEXT = context
 
 
+def _ship_spans(trace_context, trace_mark):
+    """Collect spans recorded during one task and reset the buffer."""
+    if trace_context is None:
+        return []
+    spans = TRACER.events_since(trace_mark)
+    TRACER.clear()  # worker buffer is per-task; shipped spans live on
+    return spans
+
+
 def _run_plain(payload):
-    fn, item = payload
+    fn, item, trace_context = payload
+    TRACER.adopt(trace_context)
+    trace_mark = TRACER.mark()
     mark = METRICS.mark()
     result = fn(item)
-    return result, METRICS.delta_since(mark)
+    delta = METRICS.delta_since(mark)
+    return result, delta, _ship_spans(trace_context, trace_mark)
 
 
 def _run_with_context(payload):
-    fn, item = payload
+    fn, item, trace_context = payload
+    TRACER.adopt(trace_context)
+    trace_mark = TRACER.mark()
     mark = METRICS.mark()
     result = fn(_WORKER_CONTEXT, item)
-    return result, METRICS.delta_since(mark)
+    delta = METRICS.delta_since(mark)
+    return result, delta, _ship_spans(trace_context, trace_mark)
 
 
 def _warm_task(_item):
@@ -158,23 +184,29 @@ class ParallelExecutor:
         """
         items = list(items)
         _SUBMITTED.inc(len(items))
-        if not self.parallel or len(items) <= 1:
-            return self._map_serial(fn, items)
-        runner = _run_plain if self.context is None else _run_with_context
-        payloads = [(fn, item) for item in items]
-        if chunksize is None:
-            chunksize = max(1, math.ceil(len(items) / (self.jobs * 2)))
-        try:
-            pool = self._ensure_pool()
-            results: List = []
-            for result, delta in pool.map(runner, payloads, chunksize=chunksize):
-                METRICS.merge_delta(delta)
-                results.append(result)
-                _COMPLETED.inc()
-            return results
-        except (OSError, RuntimeError) as error:
-            self._degrade(error)
-            return self._map_serial(fn, items)
+        with TRACER.span("exec.pool.dispatch", tasks=len(items), jobs=self.jobs):
+            if not self.parallel or len(items) <= 1:
+                return self._map_serial(fn, items)
+            runner = _run_plain if self.context is None else _run_with_context
+            trace_context = TRACER.context()
+            payloads = [(fn, item, trace_context) for item in items]
+            if chunksize is None:
+                chunksize = max(1, math.ceil(len(items) / (self.jobs * 2)))
+            try:
+                pool = self._ensure_pool()
+                results: List = []
+                for result, delta, spans in pool.map(
+                    runner, payloads, chunksize=chunksize
+                ):
+                    METRICS.merge_delta(delta)
+                    if spans:
+                        _SPANS_SHIPPED.inc(TRACER.absorb(spans))
+                    results.append(result)
+                    _COMPLETED.inc()
+                return results
+            except (OSError, RuntimeError) as error:
+                self._degrade(error)
+                return self._map_serial(fn, items)
 
     def _map_serial(self, fn: Callable, items: List) -> List:
         results = []

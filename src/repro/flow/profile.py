@@ -37,6 +37,9 @@ class ProfileReport:
     #: the full registry counter snapshot after the run, zeros included
     #: (the run ledger needs "zero" and "absent" to be different facts)
     all_counters: Dict[str, int] = field(default_factory=dict)
+    #: histogram summaries after the run (stage times, serve latencies
+    #: when profiling through the daemon) -- feeds the ledger's SLO gate
+    histograms: Dict[str, Dict] = field(default_factory=dict)
 
     def stage(self, name: str) -> Dict:
         for row in self.stages:
@@ -66,6 +69,7 @@ class ProfileReport:
             counters=self.all_counters,
             kind="profile",
             results=results if results is not None else dict(self.summary),
+            histograms=self.histograms or None,
         )
 
     def render(self) -> str:
@@ -173,5 +177,6 @@ def profile_system(
             "min-area DFT cells": plan.chip_dft_cells,
         },
         all_counters=dict(METRICS.counters()),
+        histograms=METRICS.histograms(),
     )
     return report

@@ -195,9 +195,11 @@ def render_metrics_table(snapshot: Dict) -> str:
     for name, value in snapshot.get("gauges", {}).items():
         rows.append([name, "gauge", value])
     for name, summary in snapshot.get("histograms", {}).items():
+        p50, p99 = summary.get("p50"), summary.get("p99")
         rendered = (
             f"n={summary['count']} sum={summary['sum']:.4g} "
-            f"p50={summary.get('p50', 0):.4g} p99={summary.get('p99', 0):.4g}"
+            f"p50={'-' if p50 is None else format(p50, '.4g')} "
+            f"p99={'-' if p99 is None else format(p99, '.4g')}"
         )
         rows.append([name, "histogram", rendered])
     if not rows:

@@ -36,9 +36,11 @@ from repro.obs.ledger import (
     make_record,
     pooled_samples,
 )
+from repro.obs.expo import parse_exposition, render_exposition
 from repro.obs.metrics import (
     Counter,
     DEFAULT_REGISTRY,
+    EMPTY_SUMMARY,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -51,12 +53,20 @@ from repro.obs.profiler import (
 )
 from repro.obs.regress import (
     GatePolicy,
+    HistogramComparison,
     RegressionReport,
     compare_ledgers,
     compare_records,
 )
 from repro.obs.report import RunReport, build_run_report
-from repro.obs.tracer import DEFAULT_TRACER, NOOP_SPAN, Span, Tracer
+from repro.obs.tracer import (
+    DEFAULT_TRACER,
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    new_span_id,
+    span_tree_problems,
+)
 
 #: process-wide singletons every instrumented module shares
 METRICS = DEFAULT_REGISTRY
@@ -66,12 +76,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "EMPTY_SUMMARY",
     "MetricsRegistry",
     "METRICS",
     "Span",
     "Tracer",
     "TRACER",
     "NOOP_SPAN",
+    "new_span_id",
+    "span_tree_problems",
+    "render_exposition",
+    "parse_exposition",
     "Timer",
     "PIPELINE_STAGES",
     "profile_section",
@@ -81,6 +96,7 @@ __all__ = [
     "environment_fingerprint",
     "pooled_samples",
     "GatePolicy",
+    "HistogramComparison",
     "RegressionReport",
     "compare_ledgers",
     "compare_records",

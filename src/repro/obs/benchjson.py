@@ -24,6 +24,10 @@ Version history:
   included, so a counter diff can distinguish "zero" from "absent".
   v1 files still validate (the ``samples`` requirement is gated on the
   declared ``schema_version``).
+* **v3** -- adds the optional ``histograms`` field (summary dicts from
+  :meth:`MetricsRegistry.histograms`; the well-defined empty-summary
+  shape -- count 0, null order statistics -- validates too), matching
+  run-ledger schema v3.
 
 Run ``python -m repro.obs.benchjson FILE...`` to validate bench files,
 exported Chrome traces, and ``*.jsonl`` run ledgers (CI fails the job
@@ -40,7 +44,7 @@ from repro.errors import BenchSchemaError
 from repro.obs.metrics import DEFAULT_REGISTRY, MetricsRegistry
 
 SCHEMA = "repro-bench"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _REQUIRED_FIELDS = {
     "schema": str,
@@ -60,19 +64,25 @@ def bench_payload(
     rounds: int = 1,
     registry: Optional[MetricsRegistry] = None,
     samples: Optional[Sequence[float]] = None,
+    histograms: Optional[Dict] = None,
 ) -> Dict:
     """Build a schema-valid bench document (counters from the registry).
 
     With ``samples`` (the per-round raw wall times) the payload is
     schema v2; without, it stays a v1 document for callers that only
-    have a mean.  Counters record every touched instrument, zeros
+    have a mean.  ``histograms`` (summary dicts, requires ``samples``)
+    makes it v3.  Counters record every touched instrument, zeros
     included -- the regression gate needs "zero" and "absent" to be
     different facts.
     """
     registry = registry if registry is not None else DEFAULT_REGISTRY
+    if samples is not None:
+        version = SCHEMA_VERSION if histograms is not None else 2
+    else:
+        version = 1
     payload = {
         "schema": SCHEMA,
-        "schema_version": SCHEMA_VERSION if samples is not None else 1,
+        "schema_version": version,
         "bench": bench,
         "wall_time_s": float(wall_time_s),
         "rounds": int(rounds),
@@ -82,6 +92,10 @@ def bench_payload(
     if samples is not None:
         payload["samples"] = [float(value) for value in samples]
         payload["rounds"] = len(payload["samples"])
+    if histograms is not None:
+        payload["histograms"] = {
+            name: dict(summary) for name, summary in histograms.items()
+        }
     validate_bench(payload)
     return payload
 
@@ -114,6 +128,13 @@ def validate_bench(payload: Dict) -> None:
             problems.extend(_sample_problems(payload))
         elif "samples" in payload:
             problems.append("v1 payload carries a 'samples' field; declare v2")
+        if payload["schema_version"] >= 3:
+            if "histograms" in payload:
+                from repro.obs.ledger import _histogram_problems
+
+                problems.extend(_histogram_problems(payload["histograms"]))
+        elif "histograms" in payload:
+            problems.append("pre-v3 payload carries a 'histograms' field; declare v3")
     if problems:
         raise BenchSchemaError("; ".join(problems))
 
@@ -137,7 +158,14 @@ def _sample_problems(payload: Dict) -> List[str]:
 
 
 def validate_chrome_trace(payload) -> None:
-    """Check a document is a loadable Chrome ``trace_event`` export."""
+    """Check a document is a loadable Chrome ``trace_event`` export.
+
+    Beyond per-event field checks, the span graph itself is validated:
+    duplicate span ids or a parent link pointing outside the trace
+    (an orphan span -- a stitching bug) fail validation.
+    """
+    from repro.obs.tracer import span_tree_problems
+
     if isinstance(payload, dict):
         events = payload.get("traceEvents")
         if not isinstance(events, list):
@@ -152,6 +180,9 @@ def validate_chrome_trace(payload) -> None:
         for field in ("name", "ph", "ts", "pid", "tid"):
             if field not in event:
                 raise BenchSchemaError(f"trace event {index} misses {field!r}")
+    problems = span_tree_problems(events)
+    if problems:
+        raise BenchSchemaError("; ".join(problems))
 
 
 def write_bench(path: str, payload: Dict) -> str:

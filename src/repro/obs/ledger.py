@@ -8,7 +8,7 @@ versioned::
 
     {
       "schema": "repro-ledger",
-      "schema_version": 2,
+      "schema_version": 3,
       "bench": "schedule",              # series key (bench or profile name)
       "kind": "bench",                  # "bench" | "profile" | "serve"
       "timestamp": "2026-08-06T12:00:00Z",
@@ -17,6 +17,8 @@ versioned::
       "counters": {"atpg.podem.backtracks": 7010, ...},  # zeros included
       "env": {"python": "3.12.1", "platform": "linux",
               "cpus": 8, "repro_jobs": null},
+      "histograms": {"serve.queue_wait": {"count": 12, "sum": 0.8,
+                     "p50": 0.05, ...}, ...},  # optional (v3), summaries
       "results": {...}                  # optional free-form payload
     }
 
@@ -51,8 +53,11 @@ _APPENDS = DEFAULT_REGISTRY.counter("ledger.appends")
 LEDGER_SCHEMA = "repro-ledger"
 #: version history: 1 -- initial (kinds "bench"/"profile");
 #: 2 -- adds kind "serve" (a planning-daemon session: ``samples`` are
-#: per-job wall seconds, ``results`` the job summaries and tenants)
-LEDGER_SCHEMA_VERSION = 2
+#: per-job wall seconds, ``results`` the job summaries and tenants);
+#: 3 -- adds the optional ``histograms`` field ({name: summary dict},
+#: the well-defined empty-summary shape included) feeding the
+#: histogram-percentile SLO gate in :mod:`repro.obs.regress`
+LEDGER_SCHEMA_VERSION = 3
 
 #: record kinds the schema admits
 RECORD_KINDS = ("bench", "profile", "serve")
@@ -124,12 +129,16 @@ def make_record(
     env: Optional[Dict] = None,
     git_sha: Optional[str] = "auto",
     timestamp: Optional[str] = None,
+    histograms: Optional[Dict] = None,
 ) -> Dict:
     """Build a schema-valid ledger record.
 
     ``counters`` defaults to every counter in ``registry`` (the shared
     registry when neither is given), zeros included.  ``git_sha="auto"``
     resolves HEAD; pass ``None`` to record an unversioned run.
+    ``histograms`` (optional, schema v3) carries summary dicts keyed by
+    instrument name -- :meth:`MetricsRegistry.histograms` output -- for
+    the percentile SLO gate; omitted entirely when not given.
     """
     if counters is None:
         registry = registry if registry is not None else DEFAULT_REGISTRY
@@ -147,6 +156,10 @@ def make_record(
     }
     if results is not None:
         record["results"] = results
+    if histograms is not None:
+        record["histograms"] = {
+            name: dict(summary) for name, summary in histograms.items()
+        }
     validate_record(record)
     return record
 
@@ -197,8 +210,40 @@ def validate_record(record: Dict) -> None:
         for field in _ENV_FIELDS:
             if field not in record["env"]:
                 problems.append(f"env misses {field!r}")
+        if "histograms" in record:
+            problems.extend(_histogram_problems(record["histograms"]))
     if problems:
         raise LedgerSchemaError("; ".join(problems))
+
+
+def _histogram_problems(histograms) -> List[str]:
+    """Schema checks for the optional v3 ``histograms`` field.
+
+    Each entry is a summary dict; ``count``/``sum`` are required and
+    numeric, order statistics may be ``None`` (the empty-histogram
+    shape) but never anything non-numeric.
+    """
+    if not isinstance(histograms, dict):
+        return ["field 'histograms' must be an object"]
+    problems: List[str] = []
+    for name, summary in histograms.items():
+        if not isinstance(name, str) or not isinstance(summary, dict):
+            problems.append(f"histogram {name!r} is not a string->object entry")
+            continue
+        for field in ("count", "sum"):
+            value = summary.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"histogram {name!r} misses numeric {field!r}")
+        for field, value in summary.items():
+            if field in ("count", "sum"):
+                continue
+            if value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                problems.append(
+                    f"histogram {name!r} stat {field!r} is neither a number nor null"
+                )
+    return problems
 
 
 def validate_ledger_file(path: str) -> int:

@@ -23,6 +23,19 @@ from typing import Dict, List, Optional, Union
 
 Number = Union[int, float]
 
+#: the well-defined shape of an empty histogram summary: all keys
+#: present, order statistics ``None`` (JSON ``null``)
+EMPTY_SUMMARY: Dict[str, Optional[float]] = {
+    "count": 0,
+    "sum": 0.0,
+    "min": None,
+    "max": None,
+    "mean": None,
+    "p50": None,
+    "p90": None,
+    "p99": None,
+}
+
 
 class Counter:
     """A monotonically increasing count (events, items, cycles)."""
@@ -84,10 +97,16 @@ class Histogram:
     def sum(self) -> float:
         return sum(self._values)
 
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile of the observations (p in 0..100)."""
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile of the observations (p in 0..100).
+
+        An empty histogram has no ranks: the percentile is ``None``
+        (never an exception), matching the ``None``-valued percentile
+        fields of :meth:`summary` so callers and renderers share one
+        well-defined empty shape.
+        """
         if not self._values:
-            raise ValueError(f"histogram {self.name!r} is empty")
+            return None
         ordered = sorted(self._values)
         if p <= 0:
             return ordered[0]
@@ -96,10 +115,14 @@ class Histogram:
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
-    def summary(self) -> Dict[str, float]:
-        """count / sum / min / max / mean / p50 / p90 / p99."""
+    def summary(self) -> Dict[str, Optional[float]]:
+        """count / sum / min / max / mean / p50 / p90 / p99.
+
+        Every key is always present; on an empty histogram the count is
+        0, the sum 0.0, and the order statistics ``None``.
+        """
         if not self._values:
-            return {"count": 0, "sum": 0.0}
+            return dict(EMPTY_SUMMARY)
         return {
             "count": len(self._values),
             "sum": self.sum,
@@ -169,7 +192,14 @@ class MetricsRegistry:
         }
 
     def snapshot(self) -> Dict[str, Dict]:
-        """JSON-ready view of every instrument with data."""
+        """JSON-ready view of every instrument with data.
+
+        Unlike :meth:`histograms` (ledger records, where an empty
+        histogram is dead weight), the snapshot keeps empty histograms
+        as their well-defined empty summary -- a scraper should see
+        ``serve.job_latency`` exist with count 0 before the first job
+        finishes, not have the series pop into existence later.
+        """
         return {
             "counters": {k: v for k, v in self.counters().items() if v},
             "gauges": {
@@ -177,7 +207,9 @@ class MetricsRegistry:
                 for name, g in sorted(self._gauges.items())
                 if g.value is not None
             },
-            "histograms": self.histograms(),
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
         }
 
     def reset(self) -> None:

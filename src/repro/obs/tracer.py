@@ -1,10 +1,11 @@
 """Span-based tracer exporting Chrome ``trace_event`` JSON and JSONL.
 
 A :class:`Tracer` records *complete* spans (``ph: "X"``): each span has
-a name, wall-clock start, duration, thread id, nesting depth, and free
-``args``.  The output of :meth:`Tracer.export_chrome` loads directly in
-``chrome://tracing`` and https://ui.perfetto.dev; :meth:`export_jsonl`
-writes one event per line for ad-hoc ``jq``/pandas analysis.
+a name, wall-clock start, duration, thread id, nesting depth, a stable
+span id, a parent link, and free ``args``.  The output of
+:meth:`Tracer.export_chrome` loads directly in ``chrome://tracing`` and
+https://ui.perfetto.dev; :meth:`export_jsonl` writes one event per line
+for ad-hoc ``jq``/pandas analysis.
 
 Disabled is the default and the fast path: ``span()`` then returns a
 shared no-op context manager without touching the clock, so leaving
@@ -12,15 +13,40 @@ shared no-op context manager without touching the clock, so leaving
 check per call.  Spans nest naturally through the ``with`` statement;
 a thread-local stack tracks depth and parent for the JSONL export
 (Chrome infers nesting from timestamps on the same thread).
+
+Cross-process stitching: :meth:`Tracer.context` serializes the current
+position in the trace (trace id, innermost span id, epoch, depth) into
+a plain dict that survives pickling into a pool worker.  The worker
+calls :meth:`Tracer.adopt` on its own process-local tracer, which
+enables recording, re-bases depth under the shipped parent, and adopts
+the parent's perf-counter epoch so timestamps share one timebase
+(``CLOCK_MONOTONIC`` is system-wide on Linux).  Worker spans travel
+back as plain event dicts and are merged with :meth:`Tracer.absorb`;
+span ids are ``"<pid hex>-<seq hex>"`` so ids from different worker
+processes never collide.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: process-wide span-id sequence; combined with the pid so ids minted in
+#: forked workers (which inherit the counter position) stay unique
+_SPAN_IDS = itertools.count(1)
+
+
+def new_span_id() -> str:
+    """Mint a span id (``"<pid hex>-<seq hex>"``) outside any tracer.
+
+    Used by synthesized span trees (serve jobs) so their ids share the
+    allocator with live tracer spans and never collide with them.
+    """
+    return f"{os.getpid():x}-{next(_SPAN_IDS):x}"
 
 
 class _NoopSpan:
@@ -44,32 +70,48 @@ NOOP_SPAN = _NoopSpan()
 class Span:
     """One live span; records itself on the tracer when the block exits."""
 
-    __slots__ = ("tracer", "name", "args", "_start_ns", "_depth", "_parent")
+    __slots__ = (
+        "tracer",
+        "name",
+        "args",
+        "span_id",
+        "_start_ns",
+        "_depth",
+        "_parent",
+        "_parent_id",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, args: Dict) -> None:
         self.tracer = tracer
         self.name = name
         self.args = args
+        self.span_id: Optional[str] = None
         self._start_ns = 0
         self._depth = 0
         self._parent: Optional[str] = None
+        self._parent_id: Optional[str] = None
 
     def set(self, **args) -> None:
         """Attach extra args (counters measured inside the block)."""
         self.args.update(args)
 
     def __enter__(self) -> "Span":
-        stack = self.tracer._stack()
-        self._depth = len(stack)
-        self._parent = stack[-1] if stack else None
-        stack.append(self.name)
+        tracer = self.tracer
+        stack = tracer._stack()
+        self._depth = tracer._depth_base + len(stack)
+        if stack:
+            self._parent, self._parent_id = stack[-1]
+        else:
+            self._parent, self._parent_id = tracer._context_parent
+        self.span_id = f"{tracer.pid:x}-{next(_SPAN_IDS):x}"
+        stack.append((self.name, self.span_id))
         self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc) -> bool:
         end_ns = time.perf_counter_ns()
         stack = self.tracer._stack()
-        if stack and stack[-1] == self.name:
+        if stack and stack[-1] == (self.name, self.span_id):
             stack.pop()
         self.tracer._record(
             {
@@ -80,7 +122,13 @@ class Span:
                 "pid": self.tracer.pid,
                 "tid": threading.get_ident(),
                 "cat": self.name.split(".", 1)[0],
-                "args": dict(self.args, depth=self._depth, parent=self._parent),
+                "args": dict(
+                    self.args,
+                    depth=self._depth,
+                    parent=self._parent,
+                    span_id=self.span_id,
+                    parent_id=self._parent_id,
+                ),
             }
         )
         return False
@@ -93,9 +141,14 @@ class Tracer:
         self.enabled = enabled
         self.epoch_ns = time.perf_counter_ns()
         self.pid = os.getpid()
+        self.trace_id = f"{self.pid:x}.{self.epoch_ns:x}"
         self._events: List[Dict] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: (name, span_id) adopted from a shipped context; parents any
+        #: span opened while the thread-local stack is empty
+        self._context_parent: Tuple[Optional[str], Optional[str]] = (None, None)
+        self._depth_base = 0
 
     # ------------------------------------------------------------------
     def span(self, name: str, **args):
@@ -114,9 +167,86 @@ class Tracer:
         with self._lock:
             self._events.clear()
         self.epoch_ns = time.perf_counter_ns()
+        self.trace_id = f"{self.pid:x}.{self.epoch_ns:x}"
+        self._context_parent = (None, None)
+        self._depth_base = 0
 
     # ------------------------------------------------------------------
-    def _stack(self) -> List[str]:
+    # cross-process propagation
+    # ------------------------------------------------------------------
+    def context(self, parent: Optional[Span] = None) -> Optional[Dict]:
+        """Serialize the current trace position for shipping to a worker.
+
+        Returns ``None`` while tracing is disabled (the no-overhead
+        signal for the worker side).  ``parent`` pins the span that
+        shipped work should nest under; without it the innermost open
+        span on the calling thread is used.
+        """
+        if not self.enabled:
+            return None
+        if parent is not None and parent.span_id is not None:
+            parent_name: Optional[str] = parent.name
+            parent_id: Optional[str] = parent.span_id
+            depth = parent._depth + 1
+        else:
+            stack = self._stack()
+            if stack:
+                parent_name, parent_id = stack[-1]
+                depth = self._depth_base + len(stack)
+            else:
+                parent_name, parent_id = self._context_parent
+                depth = self._depth_base
+        return {
+            "trace": self.trace_id,
+            "parent": parent_name,
+            "parent_id": parent_id,
+            "depth": depth,
+            "epoch_ns": self.epoch_ns,
+        }
+
+    def adopt(self, context: Optional[Dict]) -> None:
+        """Follow a shipped trace context (worker side).
+
+        ``None`` disables recording — worker enablement always mirrors
+        the parent's, so a worker never buffers spans nobody collects
+        and never silently drops spans the parent wanted.
+        """
+        # a forked worker inherits the forking thread's span stack (the
+        # parent's open spans, which the worker will never exit); a task
+        # starts from a clean stack with the shipped context as parent
+        self._stack().clear()
+        if context is None:
+            self.enabled = False
+            self._context_parent = (None, None)
+            self._depth_base = 0
+            return
+        self.pid = os.getpid()  # cached pid is stale after fork
+        self.enabled = True
+        self.trace_id = context["trace"]
+        self.epoch_ns = context["epoch_ns"]
+        self._context_parent = (context.get("parent"), context.get("parent_id"))
+        self._depth_base = context.get("depth", 0)
+
+    def mark(self) -> int:
+        """Current event count; pair with :meth:`events_since`."""
+        with self._lock:
+            return len(self._events)
+
+    def events_since(self, mark: int) -> List[Dict]:
+        """Events recorded after ``mark`` (for shipping back to a parent)."""
+        with self._lock:
+            return list(self._events[mark:])
+
+    def absorb(self, events: List[Dict]) -> int:
+        """Merge events shipped back from a worker; returns the count."""
+        if not events:
+            return 0
+        with self._lock:
+            self._events.extend(events)
+        return len(events)
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Tuple[str, str]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
@@ -133,7 +263,11 @@ class Tracer:
 
     def chrome_trace(self) -> Dict:
         """The ``trace_event`` document Perfetto/chrome://tracing load."""
-        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+            "metadata": {"trace_id": self.trace_id},
+        }
 
     def export_chrome(self, path: str) -> str:
         with open(path, "w") as handle:
@@ -151,6 +285,39 @@ class Tracer:
         for event in self.events():
             if event["name"].startswith(prefix):
                 yield event
+
+
+def span_tree_problems(events: List[Dict]) -> List[str]:
+    """Structural checks on a stitched span set: ids and parent links.
+
+    Returns human-readable problems; empty means every span id is
+    unique and every non-root parent link resolves — i.e. zero orphan
+    spans.  Events without ``args.span_id`` (foreign trace events) are
+    ignored.
+    """
+    problems: List[str] = []
+    ids: Dict[str, str] = {}
+    for event in events:
+        span_id = (event.get("args") or {}).get("span_id")
+        if span_id is None:
+            continue
+        if span_id in ids:
+            problems.append(
+                f"duplicate span id {span_id!r} "
+                f"({ids[span_id]!r} and {event['name']!r})"
+            )
+        ids[span_id] = event["name"]
+    for event in events:
+        args = event.get("args") or {}
+        if args.get("span_id") is None:
+            continue
+        parent_id = args.get("parent_id")
+        if parent_id is not None and parent_id not in ids:
+            problems.append(
+                f"orphan span {event['name']!r} "
+                f"(parent id {parent_id!r} not in trace)"
+            )
+    return problems
 
 
 #: the process-wide tracer shared by every instrumented module

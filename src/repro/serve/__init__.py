@@ -16,12 +16,14 @@ Modules:
               runner that executes jobs bit-identically to the CLI
 ``daemon``    the asyncio server: dispatch, ops, graceful drain
 ``client``    the synchronous client library
+``top``       the ``repro top`` live terminal dashboard
 """
 
 from repro.serve.client import ServeClient
 from repro.serve.daemon import ServeConfig, ServeDaemon, start_background
 from repro.serve.jobs import Job, JobQueue
 from repro.serve.protocol import JOB_TYPES, PROTOCOL, PROTOCOL_VERSION
+from repro.serve.top import run_top
 
 __all__ = [
     "ServeClient",
@@ -33,4 +35,5 @@ __all__ = [
     "JOB_TYPES",
     "PROTOCOL",
     "PROTOCOL_VERSION",
+    "run_top",
 ]

@@ -132,6 +132,14 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")["stats"]
 
+    def metrics(self) -> str:
+        """The daemon's Prometheus-style text exposition."""
+        return self.request("metrics")["exposition"]
+
+    def spans(self, job_id: str) -> List[Dict[str, Any]]:
+        """The span tree of a terminal job (Chrome-style events)."""
+        return self.request("result", id=job_id).get("spans", [])
+
     def shutdown(self, hard: bool = False) -> Dict[str, Any]:
         """Ask the daemon to drain and exit (same path as SIGTERM)."""
         return self.request("shutdown", hard=hard)

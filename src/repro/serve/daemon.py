@@ -198,10 +198,15 @@ class ServeDaemon:
             job = await self.queue.next_job()
             if job is None:
                 return
+            coalesce_start = time.monotonic()
             batch = [job] + self.queue.coalesce_sweeps(job)
+            coalesce_end = time.monotonic()
             self._run_seq += 1
             run_seq = self._run_seq
             for entry in batch:
+                entry.add_phase(
+                    "coalesce", coalesce_start, coalesce_end, batch=len(batch)
+                )
                 entry.mark_running(run_seq)
             outcomes = await self._loop.run_in_executor(
                 self._worker, run_batch, self.state, batch
@@ -298,6 +303,7 @@ class ServeDaemon:
         )
 
     async def _op_submit(self, envelope) -> Dict[str, Any]:
+        validate_start = time.monotonic()
         spec = protocol.validate_job_spec(envelope.get("job"))
         try:
             job = self._submit(spec)
@@ -305,6 +311,9 @@ class ServeDaemon:
             raise ProtocolError(str(error), code="queue-full")
         except QueueDraining as error:
             raise ProtocolError(str(error), code="draining")
+        # the job exists only after validation passed, so the phase is
+        # attached retroactively (its start predates the submit stamp)
+        job.add_phase("validate", validate_start, time.monotonic())
         return protocol.response_ok("submit", id=job.id, state=job.state)
 
     async def _op_status(self, envelope) -> Dict[str, Any]:
@@ -317,7 +326,12 @@ class ServeDaemon:
             raise ProtocolError(
                 f"job {job.id} is {job.state}; use 'wait'", code="not-done"
             )
-        return protocol.response_ok("result", job=job.descriptor(), result=job.result)
+        return protocol.response_ok(
+            "result",
+            job=job.descriptor(),
+            result=job.result,
+            spans=job.span_tree(),
+        )
 
     async def _op_wait(self, envelope) -> Dict[str, Any]:
         job = self._job_or_raise(envelope)
@@ -330,7 +344,12 @@ class ServeDaemon:
                 )
             except asyncio.TimeoutError:
                 return protocol.response_ok("wait", job=job.descriptor(), result=None)
-        return protocol.response_ok("wait", job=job.descriptor(), result=job.result)
+        return protocol.response_ok(
+            "wait",
+            job=job.descriptor(),
+            result=job.result,
+            spans=job.span_tree(),
+        )
 
     async def _op_cancel(self, envelope) -> Dict[str, Any]:
         job = self._job_or_raise(envelope)
@@ -374,7 +393,21 @@ class ServeDaemon:
                         METRICS.counter("serve.batch.points_deduped").value
                     ),
                 },
+                "latency": {
+                    "queue_wait": METRICS.histogram("serve.queue_wait").summary(),
+                    "job_latency": METRICS.histogram("serve.job_latency").summary(),
+                },
             },
+        )
+
+    async def _op_metrics(self, _envelope) -> Dict[str, Any]:
+        """Prometheus-style text exposition of the live registry."""
+        from repro.obs.expo import render_exposition
+
+        return protocol.response_ok(
+            "metrics",
+            exposition=render_exposition(METRICS.snapshot()),
+            content_type="text/plain; version=0.0.4",
         )
 
     async def _op_shutdown(self, envelope) -> Dict[str, Any]:
@@ -401,6 +434,9 @@ class ServeDaemon:
                 "tenant": job.tenant,
                 "state": job.state,
                 "wall_s": job.wall_s,
+                "queue_wait_s": job.queue_wait_s,
+                "phases": job.phase_durations(),
+                "spans": job.span_tree(),
             }
             for job in finished
         ]
@@ -411,6 +447,7 @@ class ServeDaemon:
             bench=self.config.bench,
             samples=[job.wall_s for job in finished],
             kind="serve",
+            histograms=METRICS.histograms(),
             results={
                 "address": self.address,
                 "jobs": summaries,

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.obs import METRICS
+from repro.obs.tracer import new_span_id
 
 # queue/lifecycle accounting (``serve.*`` counters are load- and
 # timing-dependent, so the regression observatory exempts the prefix
@@ -37,6 +39,11 @@ _CANCELLED = METRICS.counter("serve.jobs.cancelled")
 _TIMEOUTS = METRICS.counter("serve.jobs.timeouts")
 _REJECTED = METRICS.counter("serve.jobs.rejected")
 _DEPTH = METRICS.gauge("serve.queue.depth")
+
+# latency distributions derived from the job span tree; these feed the
+# ``metrics`` op, the serve ledger record, and the p99 SLO gate
+_QUEUE_WAIT = METRICS.histogram("serve.queue_wait")
+_JOB_LATENCY = METRICS.histogram("serve.job_latency")
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -82,11 +89,16 @@ class Job:
     result: Any = None
     submitted_monotonic: float = field(default_factory=time.monotonic)
     started_monotonic: Optional[float] = None
+    finished_monotonic: Optional[float] = None
     wall_s: Optional[float] = None
     #: order in which the dispatcher started jobs (priority evidence)
     run_seq: Optional[int] = None
     #: jobs served together with this one in a coalesced sweep batch
     batched_with: int = 0
+    #: lifecycle phase records (validate / queue_wait / coalesce / run /
+    #: serialize), appended by whichever thread measured each phase;
+    #: :meth:`span_tree` turns them into Chrome-style span events
+    phases: List[Dict[str, Any]] = field(default_factory=list, repr=False)
 
     # worker-side cooperation (the only fields touched off-loop)
     cancel_flag: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -96,6 +108,13 @@ class Job:
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        """Seconds between submission and dispatch (``None`` until run)."""
+        if self.started_monotonic is None:
+            return None
+        return self.started_monotonic - self.submitted_monotonic
 
     def descriptor(self) -> Dict[str, Any]:
         """The JSON-safe job summary sent over the wire (no result)."""
@@ -109,9 +128,97 @@ class Job:
             "state": self.state,
             "error": self.error,
             "wall_s": self.wall_s,
+            "queue_wait_s": self.queue_wait_s,
             "run_seq": self.run_seq,
             "batched_with": self.batched_with,
         }
+
+    # ------------------------------------------------------------------
+    # lifecycle phases / span tree
+    # ------------------------------------------------------------------
+    def add_phase(
+        self, name: str, start_monotonic: float, end_monotonic: float, **args: Any
+    ) -> None:
+        """Record one lifecycle phase (append-only, any thread)."""
+        self.phases.append(
+            {
+                "name": name,
+                "start_monotonic": start_monotonic,
+                "dur_s": max(0.0, end_monotonic - start_monotonic),
+                "args": args,
+            }
+        )
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Compact ``{phase: seconds}`` view for ledger/stats payloads."""
+        durations: Dict[str, float] = {}
+        for phase in self.phases:
+            durations[phase["name"]] = (
+                durations.get(phase["name"], 0.0) + phase["dur_s"]
+            )
+        return durations
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """Chrome-style span events for this job: one ``serve.job`` root
+        with every recorded phase nested under it.
+
+        Timestamps are the daemon's monotonic clock in microseconds, so
+        trees from different jobs of the same daemon line up on one
+        timeline; ``tid`` is the job sequence number so each job renders
+        as its own row.  Span ids are minted fresh per call from the
+        process-wide allocator (never colliding with live tracer spans).
+        """
+        starts = [p["start_monotonic"] for p in self.phases]
+        ends = [p["start_monotonic"] + p["dur_s"] for p in self.phases]
+        root_start = min([self.submitted_monotonic] + starts)
+        root_end = max(
+            [self.finished_monotonic or self.submitted_monotonic] + ends
+        )
+        root_id = new_span_id()
+        pid = os.getpid()
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "serve.job",
+                "ph": "X",
+                "ts": root_start * 1e6,
+                "dur": (root_end - root_start) * 1e6,
+                "pid": pid,
+                "tid": self.seq,
+                "cat": "serve",
+                "args": {
+                    "job": self.id,
+                    "type": self.type,
+                    "system": self.system,
+                    "tenant": self.tenant,
+                    "state": self.state,
+                    "depth": 0,
+                    "parent": None,
+                    "span_id": root_id,
+                    "parent_id": None,
+                },
+            }
+        ]
+        for phase in self.phases:
+            events.append(
+                {
+                    "name": f"serve.job.{phase['name']}",
+                    "ph": "X",
+                    "ts": phase["start_monotonic"] * 1e6,
+                    "dur": phase["dur_s"] * 1e6,
+                    "pid": pid,
+                    "tid": self.seq,
+                    "cat": "serve",
+                    "args": dict(
+                        phase["args"],
+                        job=self.id,
+                        depth=1,
+                        parent="serve.job",
+                        span_id=new_span_id(),
+                        parent_id=root_id,
+                    ),
+                }
+            )
+        return events
 
     # ------------------------------------------------------------------
     # loop-thread transitions
@@ -122,13 +229,21 @@ class Job:
         self.started_monotonic = time.monotonic()
         if self.timeout_s is not None:
             self.deadline_monotonic = self.started_monotonic + self.timeout_s
+        _QUEUE_WAIT.observe(self.queue_wait_s)
+        self.add_phase(
+            "queue_wait", self.submitted_monotonic, self.started_monotonic
+        )
 
     def finish(self, state: str, result: Any = None, error: Optional[str] = None) -> None:
         self.state = state
         self.result = result
         self.error = error
+        self.finished_monotonic = time.monotonic()
         if self.started_monotonic is not None:
-            self.wall_s = time.monotonic() - self.started_monotonic
+            self.wall_s = self.finished_monotonic - self.started_monotonic
+            _JOB_LATENCY.observe(
+                self.finished_monotonic - self.submitted_monotonic
+            )
         {
             DONE: _COMPLETED,
             FAILED: _FAILED,

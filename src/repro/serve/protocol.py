@@ -64,7 +64,9 @@ PROTOCOL_VERSION = 1
 #: runner for ``params.seconds`` with cooperative checkpoints.
 JOB_TYPES = ("plan", "sweep", "profile", "lint", "sleep")
 
-#: ops a client may send
+#: ops a client may send (``metrics`` was added within protocol
+#: version 1 -- new ops are backward-compatible: an older server
+#: answers ``unknown-op``, which clients treat as "not supported")
 OPS = (
     "ping",
     "submit",
@@ -74,6 +76,7 @@ OPS = (
     "cancel",
     "jobs",
     "stats",
+    "metrics",
     "shutdown",
 )
 

@@ -173,20 +173,28 @@ def run_batch(state: WarmState, batch: List[Job]) -> List[Tuple[Job, Outcome]]:
     if len(batch) > 1 or batch[0].type == "sweep":
         return _run_sweep_batch(state, batch)
     job = batch[0]
+    run_start = time.monotonic()
     try:
         checkpoint(job)
         cached = state.cached_result(job)
         if cached is not None:
+            job.add_phase("run", run_start, time.monotonic(), cached=True)
             return [(job, (DONE, cached, None))]
         with profile_section("serve.job", type=job.type, system=job.system or "-"):
             result = _HANDLERS[job.type](state, job)
+        run_end = time.monotonic()
+        job.add_phase("run", run_start, run_end)
         state.store_result(job, result)
+        job.add_phase("serialize", run_end, time.monotonic())
         return [(job, (DONE, result, None))]
     except JobCancelled:
+        job.add_phase("run", run_start, time.monotonic(), outcome=CANCELLED)
         return [(job, (CANCELLED, None, "cancelled"))]
     except JobTimeout:
+        job.add_phase("run", run_start, time.monotonic(), outcome=TIMEOUT)
         return [(job, (TIMEOUT, None, f"timed out after {job.timeout_s}s"))]
     except Exception as error:  # a failed job must not kill the daemon
+        job.add_phase("run", run_start, time.monotonic(), outcome=FAILED)
         return [(job, (FAILED, None, f"{type(error).__name__}: {error}"))]
 
 
@@ -199,9 +207,11 @@ def _run_sweep_batch(state: WarmState, batch: List[Job]) -> List[Tuple[Job, Outc
 
     outcomes: List[Tuple[Job, Outcome]] = []
     alive: List[Job] = []
+    cache_start = time.monotonic()
     for job in batch:
         cached = state.cached_result(job)
         if cached is not None:
+            job.add_phase("run", cache_start, time.monotonic(), cached=True)
             outcomes.append((job, (DONE, cached, None)))
         else:
             alive.append(job)
@@ -219,16 +229,22 @@ def _run_sweep_batch(state: WarmState, batch: List[Job]) -> List[Tuple[Job, Outc
             alive.remove(job)
         if not alive:
             return outcomes
+        run_start = time.monotonic()
         with profile_section("serve.batch", system=system, jobs=len(alive)):
             plans, dead = _plan_combos(state, soc, combos, alive)
+        run_end = time.monotonic()
         for job, outcome in dead:
+            job.add_phase("run", run_start, run_end, outcome=outcome[0])
             outcomes.append((job, outcome))
             alive.remove(job)
         for job in alive:
+            job.add_phase("run", run_start, run_end, points=len(combos))
+            serialize_start = time.monotonic()
             result = _sweep_result(
                 soc, core_names, combos, plans, per_job_combos.get(job.id)
             )
             state.store_result(job, result)
+            job.add_phase("serialize", serialize_start, time.monotonic())
             outcomes.append((job, (DONE, result, None)))
     except Exception as error:
         for job in alive:

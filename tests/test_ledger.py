@@ -268,3 +268,48 @@ class TestFanOutDeterminism:
         ledger.append(fanned)
         first, second = ledger.records("fanout")
         assert stable(first) == stable(second)
+
+
+# ----------------------------------------------------------------------
+# schema v3: the optional 'histograms' field
+# ----------------------------------------------------------------------
+class TestHistogramsField:
+    def summary(self, values):
+        from repro.obs.metrics import MetricsRegistry
+
+        hist = MetricsRegistry().histogram("h")
+        for value in values:
+            hist.observe(value)
+        return hist.summary()
+
+    def test_v3_record_round_trips(self, tmp_path):
+        rec = record(histograms={"serve.queue_wait": self.summary([0.01, 0.02])})
+        assert rec["schema_version"] == LEDGER_SCHEMA_VERSION >= 3
+        validate_record(rec)
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        ledger.append(rec)
+        (read_back,) = ledger.records("schedule")
+        assert read_back["histograms"]["serve.queue_wait"]["count"] == 2
+
+    def test_histograms_field_is_optional(self):
+        rec = record()
+        assert "histograms" not in rec
+        validate_record(rec)
+
+    def test_empty_summary_validates(self):
+        from repro.obs.metrics import EMPTY_SUMMARY
+
+        validate_record(record(histograms={"h": dict(EMPTY_SUMMARY)}))
+
+    @pytest.mark.parametrize("bad, fragment", [
+        ("nope", "histograms"),
+        ({"h": "nope"}, "h"),
+        ({"h": {"sum": 0.0}}, "count"),
+        ({"h": {"count": "many", "sum": 0.0}}, "count"),
+        ({"h": {"count": 1, "sum": 0.1, "p99": "slow"}}, "p99"),
+    ])
+    def test_rejects_malformed_histograms(self, bad, fragment):
+        rec = record(histograms={"h": self.summary([0.01])})
+        rec["histograms"] = bad
+        with pytest.raises(LedgerSchemaError, match=fragment):
+            validate_record(rec)

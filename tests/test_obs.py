@@ -59,11 +59,18 @@ class TestMetrics:
         assert hist.percentile(99) == 7.0
 
     def test_empty_histogram(self):
+        from repro.obs.metrics import EMPTY_SUMMARY
+
         registry = MetricsRegistry()
         hist = registry.histogram("t")
-        with pytest.raises(ValueError):
-            hist.percentile(50)
-        assert hist.summary() == {"count": 0, "sum": 0.0}
+        # an empty histogram has well-defined (null) order statistics,
+        # not an exception -- scrapers and reports render it as "-"
+        assert hist.percentile(50) is None
+        assert hist.percentile(99) is None
+        summary = hist.summary()
+        assert summary == EMPTY_SUMMARY
+        assert summary["count"] == 0 and summary["sum"] == 0.0
+        assert summary["p50"] is None and summary["p99"] is None
         assert registry.histograms() == {}  # empty histograms are skipped
 
     def test_prefix_filters(self):
@@ -212,7 +219,27 @@ class TestBenchJson:
         with pytest.raises(BenchSchemaError, match="rounds is 9"):
             validate_bench(dict(good, rounds=9))
         with pytest.raises(BenchSchemaError, match="newer"):
-            validate_bench(dict(good, schema_version=3))
+            validate_bench(dict(good, schema_version=4))
+
+    def test_v3_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("serve.queue_wait").observe(0.01)
+        payload = bench_payload(
+            "x", 0.1, {}, registry=registry, samples=[0.1, 0.2],
+            histograms=registry.histograms(),
+        )
+        assert payload["schema_version"] == 3
+        assert payload["histograms"]["serve.queue_wait"]["count"] == 1
+        # the well-defined empty summary validates too
+        from repro.obs.metrics import EMPTY_SUMMARY
+
+        validate_bench(dict(payload, histograms={"h": dict(EMPTY_SUMMARY)}))
+        with pytest.raises(BenchSchemaError, match="declare v3"):
+            validate_bench(dict(payload, schema_version=2))
+        with pytest.raises(BenchSchemaError):
+            validate_bench(
+                dict(payload, histograms={"h": {"count": "many", "sum": 0}})
+            )
 
     def test_validate_rejects_bad_payloads(self):
         with pytest.raises(BenchSchemaError):

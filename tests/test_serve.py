@@ -505,3 +505,117 @@ class TestPoolReuse:
             before = counter.value
             executor.map(_square, [5, 6, 7, 8])
             assert counter.value > before
+
+
+# ----------------------------------------------------------------------
+# telemetry surface: job spans, metrics op, latency stats, repro top
+# ----------------------------------------------------------------------
+class TestTelemetrySurface:
+    @pytest.fixture()
+    def finished_job(self, client):
+        job_id = client.submit("plan", "System1")
+        descriptor, _ = client.wait(job_id)
+        assert descriptor["state"] == "done"
+        return job_id
+
+    def test_job_spans_cover_the_lifecycle(self, client, finished_job):
+        from repro.obs import span_tree_problems
+        from repro.obs.benchjson import validate_chrome_trace
+
+        spans = client.spans(finished_job)
+        assert spans[0]["name"] == "serve.job"
+        names = {event["name"] for event in spans}
+        for phase in ("validate", "queue_wait", "run"):
+            assert f"serve.job.{phase}" in names
+        assert span_tree_problems(spans) == []
+        validate_chrome_trace({"traceEvents": spans})
+        root_id = spans[0]["args"]["span_id"]
+        for event in spans[1:]:
+            assert event["args"]["parent_id"] == root_id
+            assert event["dur"] >= 0
+        # each job renders on its own row: tid is the job sequence
+        assert spans[0]["tid"] == int(finished_job.lstrip("j"))
+
+    def test_descriptor_carries_queue_wait(self, client, finished_job):
+        descriptor = client.status(finished_job)
+        assert descriptor["queue_wait_s"] is not None
+        assert descriptor["queue_wait_s"] >= 0
+
+    def test_metrics_op_exposition_parses(self, client, finished_job):
+        from repro.obs.expo import parse_exposition, summary_from_series
+
+        text = client.metrics()
+        parsed = parse_exposition(text)  # the CI scrape path
+        assert any(name.startswith("repro_serve_") for name in parsed)
+        latency = summary_from_series(parsed, "serve.job_latency")
+        assert latency["count"] >= 1 and latency["p99"] is not None
+        wait = summary_from_series(parsed, "serve.queue_wait")
+        assert wait["count"] >= 1
+
+    def test_stats_latency_summaries(self, client, finished_job):
+        stats = client.stats()
+        for key in ("queue_wait", "job_latency"):
+            summary = stats["latency"][key]
+            assert summary["count"] >= 1
+            assert summary["p50"] is not None
+
+    def test_top_renders_live_dashboard(self, daemon, client, finished_job):
+        import io
+
+        from repro.serve.top import poll, render_frame, run_top
+
+        with ServeClient(daemon.address) as top_client:
+            first = poll(top_client)
+            second = poll(top_client)
+        page = render_frame(second, first)
+        assert "queue" in page and "job_latency" in page
+        assert daemon.address in page
+        out = io.StringIO()
+        assert run_top(daemon.address, once=True, stream=out) == 0
+        assert "latency" in out.getvalue()
+        expo_out = io.StringIO()
+        assert run_top(daemon.address, expo=True, stream=expo_out) == 0
+        assert "repro_serve_requests" in expo_out.getvalue()
+
+    def test_top_unreachable_daemon_exits_1(self, tmp_path):
+        import io
+
+        missing = tmp_path / "nope.sock"
+        assert run_top_address_fails(f"unix:{missing}")
+
+
+def run_top_address_fails(address):
+    import io
+
+    from repro.serve.top import run_top
+
+    return run_top(address, once=True, stream=io.StringIO()) == 1
+
+
+class TestServeLedgerTelemetry:
+    def test_drain_record_carries_histograms_phases_spans(self, tmp_path):
+        from repro.obs import span_tree_problems
+        from repro.obs.ledger import validate_record
+
+        socket_path = tmp_path / "tele.sock"
+        ledger_path = tmp_path / "ledger.jsonl"
+        daemon = start_background(ServeConfig(
+            address=f"unix:{socket_path}", ledger=str(ledger_path)
+        ))
+        with ServeClient(daemon.address) as client:
+            job_id = client.submit("plan", "System1")
+            client.wait(job_id)
+            client.shutdown()
+        assert daemon.wait_finished(30)
+
+        record = json.loads(ledger_path.read_text().splitlines()[0])
+        validate_record(record)  # schema v3 with histograms
+        # the registry is process-global: other tests' jobs may already
+        # have observed latencies, so assert presence, not exact count
+        assert record["histograms"]["serve.job_latency"]["count"] >= 1
+        assert record["histograms"]["serve.queue_wait"]["count"] >= 1
+        (summary,) = record["results"]["jobs"]
+        assert summary["queue_wait_s"] >= 0
+        assert {"validate", "queue_wait", "run"} <= set(summary["phases"])
+        assert summary["spans"][0]["name"] == "serve.job"
+        assert span_tree_problems(summary["spans"]) == []

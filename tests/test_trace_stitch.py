@@ -1,0 +1,137 @@
+"""Trace stitching under concurrency: threads + pool workers, one tree.
+
+The satellite contract: a traced run that fans work over threads *and*
+worker processes must export a single coherent Chrome trace -- every
+span id unique, every worker span's parent chain terminating inside
+the trace (zero orphans), and the JSON loadable by the validator.
+"""
+
+import json
+import os
+import threading
+
+from repro.exec import ParallelExecutor
+from repro.obs import METRICS, TRACER, enable_tracing, span_tree_problems
+from repro.obs.benchjson import validate_chrome_trace
+
+
+def _traced_task(item):
+    """Pool worker body: two nested spans around trivial work."""
+    with TRACER.span("stitch.work", item=item):
+        with TRACER.span("stitch.inner"):
+            return item * 2
+
+
+def _by_id(events):
+    return {e["args"]["span_id"]: e for e in events if "span_id" in e["args"]}
+
+
+class TestPoolStitching:
+    def setup_method(self):
+        enable_tracing()
+
+    def teardown_method(self):
+        TRACER.disable()
+        TRACER.clear()
+
+    def _run(self, jobs):
+        with TRACER.span("stitch.root"):
+            with ParallelExecutor(jobs) as executor:
+                results = executor.map(_traced_task, [1, 2, 3, 4])
+        assert results == [2, 4, 6, 8]  # order preserved
+        return TRACER.events()
+
+    def _assert_coherent(self, events):
+        assert span_tree_problems(events) == []
+        payload = json.loads(json.dumps(TRACER.chrome_trace()))
+        validate_chrome_trace(payload)
+        assert payload["metadata"]["trace_id"] == TRACER.trace_id
+        spans = _by_id(events)
+        dispatch = [e for e in events if e["name"] == "exec.pool.dispatch"]
+        assert len(dispatch) == 1
+        dispatch_id = dispatch[0]["args"]["span_id"]
+        assert dispatch[0]["args"]["parent"] == "stitch.root"
+        work = [e for e in events if e["name"] == "stitch.work"]
+        assert len(work) == 4
+        for event in work:
+            # every shipped span nests under the dispatching span
+            assert event["args"]["parent_id"] == dispatch_id
+            assert event["args"]["depth"] == dispatch[0]["args"]["depth"] + 1
+        inner = [e for e in events if e["name"] == "stitch.inner"]
+        assert len(inner) == 4
+        for event in inner:
+            parent = spans[event["args"]["parent_id"]]
+            assert parent["name"] == "stitch.work"
+        return work
+
+    def test_two_workers_stitch_into_one_tree(self):
+        before = int(METRICS.counter("exec.pool.spans_shipped").value)
+        events = self._run(jobs=2)
+        work = self._assert_coherent(events)
+        if {e["pid"] for e in work} != {os.getpid()}:
+            # real worker processes: their spans were shipped + counted
+            shipped = int(METRICS.counter("exec.pool.spans_shipped").value)
+            assert shipped - before == 8  # 4x (work + inner)
+
+    def test_serial_fallback_same_tree_shape(self):
+        # jobs=None runs in-process; the tree contract is identical
+        events = self._run(jobs=None)
+        self._assert_coherent(events)
+        assert {e["pid"] for e in events} == {os.getpid()}
+
+    def test_disabled_tracing_ships_nothing(self):
+        TRACER.disable()
+        TRACER.clear()
+        before = int(METRICS.counter("exec.pool.spans_shipped").value)
+        with ParallelExecutor(2) as executor:
+            assert executor.map(_traced_task, [1, 2]) == [2, 4]
+        assert TRACER.events() == []
+        assert int(METRICS.counter("exec.pool.spans_shipped").value) == before
+
+
+class TestThreadsPlusWorkers:
+    def teardown_method(self):
+        TRACER.disable()
+        TRACER.clear()
+
+    def test_four_threads_two_workers_one_coherent_trace(self):
+        enable_tracing()
+
+        def thread_body(index):
+            with TRACER.span("stitch.thread", index=index):
+                with TRACER.span("stitch.thread.step"):
+                    pass
+
+        threads = [
+            threading.Thread(target=thread_body, args=(i,)) for i in range(4)
+        ]
+        with TRACER.span("stitch.root"):
+            for thread in threads:
+                thread.start()
+            with ParallelExecutor(2) as executor:
+                executor.map(_traced_task, [1, 2, 3, 4])
+            for thread in threads:
+                thread.join()
+        TRACER.disable()
+        events = TRACER.events()
+
+        assert span_tree_problems(events) == []  # unique ids, zero orphans
+        validate_chrome_trace(json.loads(json.dumps(TRACER.chrome_trace())))
+        spans = _by_id(events)
+        assert len(spans) == len([e for e in events if "span_id" in e["args"]])
+        # per-thread nesting survived concurrency: each step's parent is
+        # a thread span recorded on the same thread
+        for event in events:
+            if event["name"] != "stitch.thread.step":
+                continue
+            parent = spans[event["args"]["parent_id"]]
+            assert parent["name"] == "stitch.thread"
+            assert parent["tid"] == event["tid"]
+        # and the pool workers' spans still chain to the dispatch span
+        dispatch_id = next(
+            e["args"]["span_id"] for e in events
+            if e["name"] == "exec.pool.dispatch"
+        )
+        for event in events:
+            if event["name"] == "stitch.work":
+                assert event["args"]["parent_id"] == dispatch_id
