@@ -34,7 +34,9 @@ import repro.atpg.podem  # noqa: F401
 import repro.dft.hscan  # noqa: F401
 import repro.exec.cache  # noqa: F401
 import repro.exec.pool  # noqa: F401
+import repro.faults.kernel  # noqa: F401
 import repro.faults.simulator  # noqa: F401
+import repro.gates.kernel  # noqa: F401
 import repro.lint.registry  # noqa: F401
 import repro.schedule.packers  # noqa: F401
 import repro.serve.daemon  # noqa: F401
@@ -86,10 +88,12 @@ def canonical_cache_state():
     """
     from repro.exec import invalidate_plan_cache
     from repro.faults.simulator import clear_cone_caches
+    from repro.gates.kernel import clear_kernel_caches
 
     for soc in _SESSION_SOCS:
         invalidate_plan_cache(soc)
     clear_cone_caches()
+    clear_kernel_caches()
     yield
 
 

@@ -22,12 +22,12 @@ from repro.errors import AtpgError
 from repro.obs import METRICS
 from repro.atpg.values import CONTROLLING, ONE, X, ZERO, eval_gate3, v_not
 from repro.faults.model import Fault
-from repro.gates.cells import GateKind
+from repro.gates.cells import STATE_KINDS, GateKind
 from repro.gates.levelize import levelize
 from repro.gates.netlist import Gate, GateNetlist
 
-_STATE_KINDS = (GateKind.DFF, GateKind.SDFF)
-_SOURCE_KINDS = (GateKind.INPUT,) + _STATE_KINDS
+#: PODEM's assignable sources exclude constants (they cannot be set)
+_SOURCE_KINDS = (GateKind.INPUT,) + STATE_KINDS
 
 _CALLS = METRICS.counter("atpg.podem.calls")
 _BACKTRACKS = METRICS.counter("atpg.podem.backtracks")
@@ -118,7 +118,7 @@ class _PodemEngine:
         # engine then only needs to *justify* the pin net to the non-stuck value
         gate = self.gates[fault.gate]
         self.justify_only: Optional[Tuple[str, int]] = None
-        if fault.pin is not None and gate.kind in _STATE_KINDS:
+        if fault.pin is not None and gate.kind in STATE_KINDS:
             self.justify_only = (gate.fanins[fault.pin], v_not(fault.stuck))
 
     # ------------------------------------------------------------------
@@ -153,7 +153,7 @@ class _PodemEngine:
                 faulty[name] = stem_sites[name]
                 continue
             operands = [faulty[s] for s in gate.fanins]
-            if pin_sites and gate.kind not in _STATE_KINDS:
+            if pin_sites and gate.kind not in STATE_KINDS:
                 for pin in range(len(operands)):
                     stuck = pin_sites.get((name, pin))
                     if stuck is not None:
@@ -205,7 +205,7 @@ class _PodemEngine:
                 if reader in visited:
                     continue
                 reader_gate = self.gates[reader]
-                if reader_gate.kind in _STATE_KINDS:
+                if reader_gate.kind in STATE_KINDS:
                     continue
                 if reader_gate.kind is GateKind.OUTPUT or self._unknown(reader):
                     visited.add(reader)

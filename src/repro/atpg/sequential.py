@@ -27,10 +27,8 @@ from repro.faults.collapse import collapse_faults
 from repro.faults.coverage import CoverageReport
 from repro.faults.model import Fault, full_fault_universe
 from repro.faults.simulator import sequential_fault_grade
-from repro.gates.cells import GateKind
+from repro.gates.cells import STATE_KINDS, GateKind
 from repro.gates.netlist import GateNetlist
-
-_STATE_KINDS = (GateKind.DFF, GateKind.SDFF)
 
 
 @dataclass
@@ -69,7 +67,7 @@ def unroll(netlist: GateNetlist, frames: int) -> Unrolled:
     for frame in range(frames):
         for gate in netlist.gates():
             name = gate_name(frame, gate.name)
-            if gate.kind in _STATE_KINDS:
+            if gate.kind in STATE_KINDS:
                 if frame == 0:
                     result.add_gate(name, GateKind.INPUT)
                     initial_state.add(name)

@@ -17,7 +17,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.gates.cells import GateKind
+from repro.gates.cells import SOURCE_KINDS, GateKind
+from repro.gates.kernel import resolve_backend
 from repro.gates.netlist import GateNetlist
 from repro.gates.simulator import CombinationalSimulator, eval_kind
 from repro.gates.sequential import SequentialSimulator
@@ -57,14 +58,6 @@ def clear_cone_caches() -> None:
     """
     _SHARED_CONES.clear()
 
-_SOURCE_KINDS = (
-    GateKind.INPUT,
-    GateKind.CONST0,
-    GateKind.CONST1,
-    GateKind.DFF,
-    GateKind.SDFF,
-)
-
 Pattern = Mapping[str, int]  # source gate name -> bit value
 
 
@@ -92,11 +85,22 @@ class FaultSimulator:
     ``observe`` names the nets whose values are compared between the good
     and faulty machines; the default is all primary outputs plus all
     flip-flop D-pin nets (the full-scan observation set).
+
+    ``backend`` pins grading to ``"scalar"`` or ``"numpy"``; ``None``
+    defers to ``REPRO_SIM_BACKEND`` per :meth:`run` call.  The scalar
+    path is the decision oracle: both backends produce identical results
+    and identical ``faultsim.*`` counters.
     """
 
-    def __init__(self, netlist: GateNetlist, observe: Optional[Iterable[str]] = None) -> None:
+    def __init__(
+        self,
+        netlist: GateNetlist,
+        observe: Optional[Iterable[str]] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.netlist = netlist
-        self._sim = CombinationalSimulator(netlist)
+        self._backend = backend
+        self._sim = CombinationalSimulator(netlist, backend=backend)
         if observe is None:
             observed: List[str] = [g.name for g in netlist.outputs]
             for flop in netlist.flops:
@@ -151,6 +155,10 @@ class FaultSimulator:
         with profile_section(
             "faultsim.run", patterns=len(patterns), faults=len(faults)
         ):
+            if resolve_backend(self._backend) == "numpy":
+                from repro.faults import kernel as _kernel
+
+                return _kernel.grade_combinational(self, patterns, faults)
             return self._run(patterns, faults)
 
     def _run(self, patterns: Sequence[Pattern], faults: Sequence[Fault]) -> FaultSimResult:
@@ -267,6 +275,7 @@ def sequential_fault_grade(
     faults: Sequence[Fault],
     sample: Optional[int] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> FaultSimResult:
     """Grade functional input *sequences* against ``faults``.
 
@@ -278,6 +287,9 @@ def sequential_fault_grade(
     ``sample`` randomly subsamples the fault list (statistical fault
     grading) to bound runtime on large netlists; coverage is then an
     estimate over the sample, reported against ``total = len(sample)``.
+
+    ``backend`` pins grading to ``"scalar"`` or ``"numpy"``; ``None``
+    defers to ``REPRO_SIM_BACKEND``.
     """
     chosen: List[Fault] = list(faults)
     if sample is not None and sample < len(chosen):
@@ -288,13 +300,14 @@ def sequential_fault_grade(
         "faultsim.sequential", sequences=len(sequences), faults=len(chosen)
     ):
         _SEQ_FAULTS.inc(len(chosen))
-        return _sequential_grade(netlist, sequences, chosen)
+        return _sequential_grade(netlist, sequences, chosen, backend=backend)
 
 
 def _sequential_grade(
     netlist: GateNetlist,
     sequences: Sequence[Sequence[Pattern]],
     chosen: List[Fault],
+    backend: Optional[str] = None,
 ) -> FaultSimResult:
     result = FaultSimResult(total=len(chosen))
     if not sequences:
@@ -318,11 +331,18 @@ def _sequential_grade(
             -(-len(sequences) // SEQUENCE_PACK_LIMIT),
             SEQUENCE_PACK_LIMIT,
         )
+    use_kernel = resolve_backend(backend) == "numpy"
+    if use_kernel:
+        from repro.faults import kernel as _kernel
+
     alive = chosen
     for start in range(0, len(sequences), SEQUENCE_PACK_LIMIT):
         _SEQ_CHUNKS.inc()
         group = sequences[start : start + SEQUENCE_PACK_LIMIT]
-        alive = _grade_sequence_group(netlist, group, length, alive, result)
+        if use_kernel:
+            alive = _kernel.grade_sequence_group(netlist, group, length, alive, result)
+        else:
+            alive = _grade_sequence_group(netlist, group, length, alive, result, backend)
         if not alive:
             break
     result.undetected = alive
@@ -335,6 +355,7 @@ def _grade_sequence_group(
     length: int,
     alive: List[Fault],
     result: FaultSimResult,
+    backend: Optional[str] = None,
 ) -> List[Fault]:
     """Grade one packed group of sequences; returns the surviving faults."""
     count = len(sequences)
@@ -351,12 +372,14 @@ def _grade_sequence_group(
                     words[name] |= 1 << position
         cycle_inputs.append(words)
 
-    good_sim = SequentialSimulator(netlist, pattern_count=count)
+    good_sim = SequentialSimulator(netlist, pattern_count=count, backend=backend)
     good_trace = good_sim.run_sequence(cycle_inputs)
 
     survivors: List[Fault] = []
     for fault in alive:
-        faulty_sim = SequentialSimulator(netlist, pattern_count=count, fault=fault.site())
+        faulty_sim = SequentialSimulator(
+            netlist, pattern_count=count, fault=fault.site(), backend=backend
+        )
         detected = False
         for cycle, outputs in enumerate(faulty_sim.run_sequence(cycle_inputs)):
             good = good_trace[cycle]

@@ -1,0 +1,458 @@
+"""Compiled numpy simulation kernels: levelized netlists as flat programs.
+
+The scalar simulators walk the netlist gate by gate with Python-int
+words -- perfectly general, but every gate evaluation is an interpreter
+step.  This module lowers a levelized :class:`GateNetlist` once into a
+*flat numpy program*: contiguous fanin index arrays grouped by (level,
+gate kind), evaluated with vectorized ``uint64`` bitwise ops over
+``W``-word value planes (64 patterns per word, so a W=8 plane carries
+512 patterns per pass).  An optional leading *batch* dimension carries
+hundreds of faulty machines through the same program in one sweep
+(:mod:`repro.faults.kernel` builds the per-fault force plans).
+
+Backend selection is environment-driven: ``REPRO_SIM_BACKEND`` picks
+``scalar`` or ``numpy`` (the default).  When numpy is missing or broken
+the kernel degrades to the scalar backend with a one-line warning and a
+``sim.backend.fallbacks`` count -- never an import error.  The scalar
+path remains the bit-identity oracle: both backends must produce the
+same values, decisions, and ``faultsim.*``/``atpg.*`` counters (see
+DESIGN.md, "Vectorized kernels").
+
+Value-plane convention: row 0 is a reserved all-zeros word, row 1 a
+reserved all-ones word (identity padding for variable-arity gates);
+every gate owns one row from 2 up.  Bits beyond the pattern count are
+*unspecified* -- producers never mask mid-program, consumers mask at
+extraction -- which keeps every op a pure full-word bitwise instruction.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import weakref
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.gates.cells import SOURCE_KINDS, STATE_KINDS, GateKind
+from repro.gates.levelize import levelize
+from repro.gates.netlist import GateNetlist
+from repro.obs import METRICS, profile_section
+
+logger = logging.getLogger("repro.gates.kernel")
+
+try:  # degrade, never crash: a broken numpy means "scalar backend"
+    import numpy as _np
+except Exception as _exc:  # pragma: no cover - exercised via _force_numpy_unavailable
+    _np = None
+    _NUMPY_ERROR: Optional[str] = f"{type(_exc).__name__}: {_exc}"
+else:
+    _NUMPY_ERROR = None
+
+np = _np  # re-exported for the fault kernel (None when unavailable)
+
+_COMPILES = METRICS.counter("kernel.compiles")
+_CACHE_REUSES = METRICS.counter("kernel.cache.reuses")
+_WORDS = METRICS.counter("kernel.words_evaluated")
+_FALLBACKS = METRICS.counter("sim.backend.fallbacks")
+
+#: environment variable selecting the simulation backend
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+BACKENDS = ("scalar", "numpy")
+DEFAULT_BACKEND = "numpy"
+
+#: reserved value-plane rows (identity padding for variable-arity gates)
+ZERO_ROW = 0
+ONE_ROW = 1
+
+ALL_ONES = 0xFFFFFFFFFFFFFFFF
+
+_warned_fallback = False
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can run in this process."""
+    return np is not None
+
+
+def numpy_unavailable_reason() -> Optional[str]:
+    return _NUMPY_ERROR
+
+
+def resolve_backend(override: Optional[str] = None) -> str:
+    """The backend a simulator should use right now.
+
+    ``override`` wins over the ``REPRO_SIM_BACKEND`` environment
+    variable, which wins over the default (``numpy``).  Requesting
+    ``numpy`` without a working numpy degrades to ``scalar`` with a
+    one-line warning (once per process) and a ``sim.backend.fallbacks``
+    count; an unknown name is a :class:`SimulationError`.
+    """
+    choice = override or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    choice = choice.strip().lower()
+    if choice not in BACKENDS:
+        raise SimulationError(
+            f"unknown simulation backend {choice!r}: expected one of {BACKENDS}"
+        )
+    if choice == "numpy" and np is None:
+        global _warned_fallback
+        _FALLBACKS.inc()
+        if not _warned_fallback:
+            _warned_fallback = True
+            logger.warning(
+                "numpy unavailable (%s): falling back to the scalar simulation "
+                "backend", _NUMPY_ERROR,
+            )
+        return "scalar"
+    return choice
+
+
+def word_count(pattern_count: int) -> int:
+    """Words needed for ``pattern_count`` packed patterns (64 per word)."""
+    if pattern_count <= 0:
+        raise SimulationError("pattern_count must be positive")
+    return (pattern_count + 63) // 64
+
+
+def tail_masks(pattern_count: int):
+    """Per-word valid-bit masks for ``pattern_count`` patterns, shape (W,)."""
+    W = word_count(pattern_count)
+    masks = [ALL_ONES] * W
+    tail = pattern_count - (W - 1) * 64
+    if tail < 64:
+        masks[W - 1] = (1 << tail) - 1
+    return np.array(masks, dtype=np.uint64)
+
+
+def int_to_words(value: int, words: int):
+    """Split a packed Python-int word into ``words`` uint64 limbs (LSB first)."""
+    return np.array(
+        [(value >> (64 * w)) & ALL_ONES for w in range(words)], dtype=np.uint64
+    )
+
+
+def words_to_int(limbs) -> int:
+    """Rebuild a Python int from uint64 limbs (LSB first)."""
+    value = 0
+    for w in range(len(limbs) - 1, -1, -1):
+        value = (value << 64) | int(limbs[w])
+    return value
+
+
+# ----------------------------------------------------------------------
+# the compiled program
+# ----------------------------------------------------------------------
+class _OpGroup:
+    """One (level, kind) group: contiguous outputs, padded fanin matrix."""
+
+    __slots__ = ("kind", "out_rows", "fanin_rows")
+
+    def __init__(self, kind: GateKind, out_rows, fanin_rows) -> None:
+        self.kind = kind
+        self.out_rows = out_rows
+        self.fanin_rows = fanin_rows
+
+
+#: identity row used to pad a variable-arity gate's fanin list
+_PAD_ROW = {
+    GateKind.AND: ONE_ROW,
+    GateKind.NAND: ONE_ROW,
+    GateKind.OR: ZERO_ROW,
+    GateKind.NOR: ZERO_ROW,
+}
+
+#: deterministic evaluation order for kinds within one level
+_KIND_ORDER = {kind: i for i, kind in enumerate(GateKind)}
+
+
+def eval_group_ops(kind: GateKind, ops):
+    """Evaluate one gate kind over gathered operands ``(..., A, W)``.
+
+    Padding slots (identity rows) are already part of ``ops``; results
+    carry unspecified bits beyond the pattern count, masked by callers
+    at extraction.
+    """
+    if kind in (GateKind.BUF, GateKind.OUTPUT):
+        return ops[..., 0, :]
+    if kind is GateKind.NOT:
+        return ~ops[..., 0, :]
+    if kind is GateKind.AND:
+        return np.bitwise_and.reduce(ops, axis=-2)
+    if kind is GateKind.OR:
+        return np.bitwise_or.reduce(ops, axis=-2)
+    if kind is GateKind.NAND:
+        return ~np.bitwise_and.reduce(ops, axis=-2)
+    if kind is GateKind.NOR:
+        return ~np.bitwise_or.reduce(ops, axis=-2)
+    if kind is GateKind.XOR:
+        return ops[..., 0, :] ^ ops[..., 1, :]
+    if kind is GateKind.XNOR:
+        return ~(ops[..., 0, :] ^ ops[..., 1, :])
+    if kind is GateKind.MUX2:
+        select = ops[..., 2, :]
+        return (ops[..., 0, :] & ~select) | (ops[..., 1, :] & select)
+    raise SimulationError(f"cannot compile gate kind {kind.value}")
+
+
+class CompiledProgram:
+    """A levelized :class:`GateNetlist` lowered to flat numpy arrays.
+
+    Immutable once built; safe to share across simulators on the same
+    netlist (mirroring the shared fanout-cone cache).  All structural
+    queries the fault kernel needs -- rows, levels, source groups, flop
+    state plumbing -- are precomputed here so a grading sweep touches
+    only ndarray ops.
+    """
+
+    def __init__(self, netlist: GateNetlist) -> None:
+        if np is None:  # pragma: no cover - callers check resolve_backend first
+            raise SimulationError(
+                f"numpy backend unavailable: {_NUMPY_ERROR}"
+            )
+        self.netlist = netlist
+        names = list(netlist.names())
+        #: gate name -> value-plane row (rows 0/1 are reserved)
+        self.row: Dict[str, int] = {name: i + 2 for i, name in enumerate(names)}
+        self.names: List[str] = names
+        self.rows = len(names) + 2
+
+        #: gate name -> level (sources 0, gates 1 + max fanin level)
+        level: Dict[str, int] = {}
+        for name in levelize(netlist):
+            gate = netlist.gate(name)
+            if gate.kind in SOURCE_KINDS:
+                level[name] = 0
+            else:
+                level[name] = 1 + max(
+                    (level[f] for f in gate.fanins
+                     if netlist.gate(f).kind not in SOURCE_KINDS),
+                    default=0,
+                )
+        self.level: Dict[str, int] = level
+        self.depth = max(level.values(), default=0)
+
+        # ---- (level, kind) op groups with identity-padded fanins ----
+        grouped: Dict[Tuple[int, GateKind], List[str]] = {}
+        for name in names:
+            gate = netlist.gate(name)
+            if gate.kind in SOURCE_KINDS:
+                continue
+            grouped.setdefault((level[name], gate.kind), []).append(name)
+        self.levels: List[List[_OpGroup]] = [[] for _ in range(self.depth + 1)]
+        op_outputs = 0
+        for (lvl, kind) in sorted(
+            grouped, key=lambda key: (key[0], _KIND_ORDER[key[1]])
+        ):
+            members = grouped[(lvl, kind)]
+            arity = max(len(netlist.gate(m).fanins) for m in members)
+            pad = _PAD_ROW.get(kind)
+            fanin_rows = np.full((len(members), arity), ZERO_ROW, dtype=np.intp)
+            out_rows = np.empty(len(members), dtype=np.intp)
+            for i, member in enumerate(members):
+                gate = netlist.gate(member)
+                out_rows[i] = self.row[member]
+                for a in range(arity):
+                    if a < len(gate.fanins):
+                        fanin_rows[i, a] = self.row[gate.fanins[a]]
+                    else:
+                        if pad is None:
+                            raise SimulationError(
+                                f"gate {member!r} of kind {kind.value} has "
+                                f"{len(gate.fanins)} fanins, group arity {arity}"
+                            )
+                        fanin_rows[i, a] = pad
+            self.levels[lvl].append(_OpGroup(kind, out_rows, fanin_rows))
+            op_outputs += len(members)
+        #: gate outputs computed per full eval (feeds kernel.words_evaluated)
+        self.op_outputs = op_outputs
+
+        # ---- source groups ----
+        def rows_of(kinds) -> "np.ndarray":
+            return np.array(
+                [self.row[g.name] for g in netlist.gates() if g.kind in kinds],
+                dtype=np.intp,
+            )
+
+        self.input_rows = rows_of((GateKind.INPUT,))
+        self.input_names = [g.name for g in netlist.inputs]
+        self.const0_rows = rows_of((GateKind.CONST0,))
+        self.const1_rows = rows_of((GateKind.CONST1,))
+        #: simulation sources in the scalar simulators' iteration order
+        self.source_names = [
+            g.name
+            for g in netlist.gates()
+            if g.kind is GateKind.INPUT or g.kind in STATE_KINDS
+        ]
+        self.source_rows = np.array(
+            [self.row[name] for name in self.source_names], dtype=np.intp
+        )
+
+        # ---- flop state plumbing (netlist.flops order) ----
+        flops = netlist.flops
+        self.flop_names = [flop.name for flop in flops]
+        self.flop_rows = np.array(
+            [self.row[f.name] for f in flops], dtype=np.intp
+        )
+        dff_pos = [i for i, f in enumerate(flops) if f.kind is GateKind.DFF]
+        sdff_pos = [i for i, f in enumerate(flops) if f.kind is GateKind.SDFF]
+        self.dff_pos = np.array(dff_pos, dtype=np.intp)
+        self.dff_d_rows = np.array(
+            [self.row[flops[i].fanins[0]] for i in dff_pos], dtype=np.intp
+        )
+        self.sdff_pos = np.array(sdff_pos, dtype=np.intp)
+        self.sdff_d_rows = np.array(
+            [self.row[flops[i].fanins[0]] for i in sdff_pos], dtype=np.intp
+        )
+        self.sdff_si_rows = np.array(
+            [self.row[flops[i].fanins[1]] for i in sdff_pos], dtype=np.intp
+        )
+        self.sdff_se_rows = np.array(
+            [self.row[flops[i].fanins[2]] for i in sdff_pos], dtype=np.intp
+        )
+        self.output_rows = np.array(
+            [self.row[g.name] for g in netlist.outputs], dtype=np.intp
+        )
+        self.output_names = [g.name for g in netlist.outputs]
+
+        #: per-fault lowering cache, populated by repro.faults.kernel --
+        #: lives here so it shares the program's lifetime and cache policy
+        self.plan_cache: Dict[object, object] = {}
+
+    # ------------------------------------------------------------------
+    def new_values(self, words: int, batch: Tuple[int, ...] = ()):
+        """A fresh value plane ``(*batch, rows, words)`` with reserved and
+        constant rows filled."""
+        values = np.zeros(batch + (self.rows, words), dtype=np.uint64)
+        values[..., ONE_ROW, :] = np.uint64(ALL_ONES)
+        if len(self.const1_rows):
+            values[..., self.const1_rows, :] = np.uint64(ALL_ONES)
+        return values
+
+    def eval(
+        self,
+        values,
+        after_level: Optional[Callable[[int, object], None]] = None,
+    ) -> None:
+        """Run the flat program over ``values`` ``(..., rows, words)`` in place.
+
+        ``after_level(level, values)`` -- when given -- is called once
+        for level 0 *before* any op (source-row forcing) and once after
+        each computed level (stem forcing / faulty-pin corrections must
+        land before the next level reads the row).
+        """
+        batch = int(np.prod(values.shape[:-2], dtype=np.int64)) if values.ndim > 2 else 1
+        _WORDS.inc(self.op_outputs * values.shape[-1] * batch)
+        if after_level is not None:
+            after_level(0, values)
+        for lvl in range(1, self.depth + 1):
+            for group in self.levels[lvl]:
+                ops = values[..., group.fanin_rows, :]
+                values[..., group.out_rows, :] = eval_group_ops(group.kind, ops)
+            if after_level is not None:
+                after_level(lvl, values)
+
+    # ------------------------------------------------------------------
+    def run_words(
+        self,
+        sources: Mapping[str, int],
+        pattern_count: int,
+        fault=None,
+    ) -> Dict[str, int]:
+        """Scalar-simulator-compatible full evaluation.
+
+        Mirrors :meth:`CombinationalSimulator.run` exactly: same source
+        lookup order and error, same optional single stuck-at fault
+        (``fault`` duck-types :class:`FaultSite`), same masked Python-int
+        word per gate in the returned dict.
+        """
+        W = word_count(pattern_count)
+        mask = (1 << pattern_count) - 1
+        values = self.new_values(W)
+        for name in self.source_names:
+            try:
+                packed = sources[name] & mask
+            except KeyError:
+                raise SimulationError(
+                    f"no value supplied for source {name!r}"
+                ) from None
+            values[self.row[name], :] = int_to_words(packed, W)
+
+        hook = None
+        if fault is not None and fault.gate in self.row:
+            hook = self._single_fault_hook(fault)
+        self.eval(values, after_level=hook)
+
+        masks = tail_masks(pattern_count)
+        masked = values & masks
+        result: Dict[str, int] = {}
+        for name, row in self.row.items():
+            result[name] = words_to_int(masked[row])
+        return result
+
+    def _single_fault_hook(self, fault):
+        """Per-level forcing for one stuck-at fault (good-machine path)."""
+        gate = self.netlist.gate(fault.gate)
+        row = self.row[fault.gate]
+        lvl = self.level[fault.gate]
+        stuck_word = np.uint64(ALL_ONES if fault.stuck_value else 0)
+
+        if fault.pin is None:
+            def hook(level: int, values) -> None:
+                if level == lvl:
+                    values[..., row, :] = stuck_word
+            return hook
+
+        # pin fault: only meaningful on evaluated (combinational) gates;
+        # the scalar simulator ignores pin faults on source kinds.
+        if gate.kind in SOURCE_KINDS:
+            return None
+        fanin_rows = np.array(
+            [self.row[f] for f in gate.fanins], dtype=np.intp
+        )
+        pin = fault.pin
+
+        def hook(level: int, values) -> None:
+            if level != lvl:
+                return
+            ops = values[..., fanin_rows, :].copy()
+            ops[..., pin, :] = stuck_word
+            values[..., row, :] = eval_group_ops(gate.kind, ops)
+        return hook
+
+
+# ----------------------------------------------------------------------
+# compiled-program cache (mirrors the shared fanout-cone cache)
+# ----------------------------------------------------------------------
+_PROGRAMS: "weakref.WeakKeyDictionary[GateNetlist, CompiledProgram]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compiled_program(netlist: GateNetlist) -> CompiledProgram:
+    """The netlist's compiled program, compiled once per process.
+
+    Keyed weakly by the netlist object (like ``_SHARED_CONES``): every
+    simulator, ATPG pass, and compaction run on the same netlist shares
+    one program.  ``kernel.compiles`` / ``kernel.cache.reuses`` count
+    cache behaviour; :func:`clear_kernel_caches` restores cold-state
+    counting for the bench harness.
+    """
+    try:
+        program = _PROGRAMS.get(netlist)
+        cacheable = True
+    except TypeError:  # unweakrefable netlist stand-in (tests)
+        program = None
+        cacheable = False
+    if program is not None:
+        _CACHE_REUSES.inc()
+        return program
+    with profile_section("kernel.compile", netlist=netlist.name, gates=len(netlist)):
+        program = CompiledProgram(netlist)
+    _COMPILES.inc()
+    if cacheable:
+        _PROGRAMS[netlist] = program
+    return program
+
+
+def clear_kernel_caches() -> None:
+    """Drop every cached compiled program (cache-warmth reset, not semantic)."""
+    _PROGRAMS.clear()

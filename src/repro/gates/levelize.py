@@ -5,16 +5,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.errors import NetlistError
-from repro.gates.cells import GateKind
+from repro.gates.cells import SOURCE_KINDS
 from repro.gates.netlist import GateNetlist
-
-_SOURCE_KINDS = (
-    GateKind.INPUT,
-    GateKind.CONST0,
-    GateKind.CONST1,
-    GateKind.DFF,
-    GateKind.SDFF,
-)
 
 
 def levelize(netlist: GateNetlist) -> List[str]:
@@ -29,12 +21,12 @@ def levelize(netlist: GateNetlist) -> List[str]:
     ready: List[str] = []
 
     for gate in netlist.gates():
-        if gate.kind in _SOURCE_KINDS:
+        if gate.kind in SOURCE_KINDS:
             order.append(gate.name)
         else:
             # State elements do not gate their D-pin evaluation order.
             pending[gate.name] = sum(
-                1 for source in gate.fanins if netlist.gate(source).kind not in _SOURCE_KINDS
+                1 for source in gate.fanins if netlist.gate(source).kind not in SOURCE_KINDS
             )
             if pending[gate.name] == 0:
                 ready.append(gate.name)

@@ -13,10 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import NetlistError
-from repro.gates.cells import GateKind, gate_area
-
-_STATE_KINDS = (GateKind.DFF, GateKind.SDFF)
-_SOURCE_KINDS = (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1) + _STATE_KINDS
+from repro.gates.cells import SOURCE_KINDS, STATE_KINDS, GateKind, gate_area
 
 
 @dataclass
@@ -99,7 +96,7 @@ class GateNetlist:
 
     @property
     def flops(self) -> List[Gate]:
-        return self.of_kind(*_STATE_KINDS)
+        return self.of_kind(*STATE_KINDS)
 
     def fanout_map(self) -> Dict[str, List[str]]:
         """Gate name -> names of gates that read it (cached)."""
@@ -135,7 +132,7 @@ class GateNetlist:
         WHITE, GREY, BLACK = 0, 1, 2
         color = {name: WHITE for name in self._gates}
         for start, gate in self._gates.items():
-            if gate.kind in _SOURCE_KINDS or color[start] != WHITE:
+            if gate.kind in SOURCE_KINDS or color[start] != WHITE:
                 continue
             stack: List[Tuple[str, Iterator[str]]] = [(start, iter(gate.fanins))]
             color[start] = GREY
@@ -143,7 +140,7 @@ class GateNetlist:
                 node, iterator = stack[-1]
                 advanced = False
                 for source in iterator:
-                    if self._gates[source].kind in _SOURCE_KINDS:
+                    if self._gates[source].kind in SOURCE_KINDS:
                         continue
                     if color[source] == GREY:
                         raise NetlistError(f"combinational cycle through {source!r}")

@@ -13,17 +13,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.gates.cells import GateKind
+from repro.gates.cells import SOURCE_KINDS, GateKind
+from repro.gates.kernel import compiled_program, resolve_backend
 from repro.gates.levelize import levelize
 from repro.gates.netlist import Gate, GateNetlist
-
-_SOURCE_KINDS = (
-    GateKind.INPUT,
-    GateKind.CONST0,
-    GateKind.CONST1,
-    GateKind.DFF,
-    GateKind.SDFF,
-)
 
 
 @dataclass(frozen=True)
@@ -41,12 +34,19 @@ class FaultSite:
 
 
 class CombinationalSimulator:
-    """Levelized word-parallel evaluator for the combinational view."""
+    """Levelized word-parallel evaluator for the combinational view.
 
-    def __init__(self, netlist: GateNetlist) -> None:
+    ``backend`` pins this simulator to ``"scalar"`` or ``"numpy"``;
+    ``None`` defers to ``REPRO_SIM_BACKEND`` (resolved per call).  Both
+    backends return bit-identical value dicts -- the scalar path is the
+    oracle the compiled numpy kernels are checked against.
+    """
+
+    def __init__(self, netlist: GateNetlist, backend: Optional[str] = None) -> None:
         self.netlist = netlist
+        self._backend = backend
         self._order: List[str] = [
-            name for name in levelize(netlist) if netlist.gate(name).kind not in _SOURCE_KINDS
+            name for name in levelize(netlist) if netlist.gate(name).kind not in SOURCE_KINDS
         ]
         self._gates: Dict[str, Gate] = {name: netlist.gate(name) for name in netlist.names()}
 
@@ -67,6 +67,8 @@ class CombinationalSimulator:
         ``sources`` maps every INPUT and flip-flop gate name to its packed
         value word.  Returns a dict with a word for every gate.
         """
+        if resolve_backend(self._backend) == "numpy":
+            return compiled_program(self.netlist).run_words(sources, pattern_count, fault)
         if pattern_count <= 0:
             raise SimulationError("pattern_count must be positive")
         mask = (1 << pattern_count) - 1

@@ -27,6 +27,7 @@ PIPELINE_STAGES: List[Tuple[str, str]] = [
     ("chip-level", "chiplevel"),
     ("ATPG", "atpg"),
     ("fault-sim", "faultsim"),
+    ("kernel", "kernel"),
     ("optimizer", "optimizer"),
     ("schedule", "schedule"),
 ]
