@@ -1,0 +1,152 @@
+"""Mux-select consistency checking for transparency paths.
+
+Every :class:`~repro.transparency.rcg.TransArc` carries a ``mux_path``:
+the ``(mux, leg)`` control assignments that steer the transported slice
+through the datapath.  A path tree is only *realizable* as one mode if
+those demands are mutually consistent.  Two demands conflict hard when
+they force the **same mux** onto two different legs in the same cycle --
+no select encoding satisfies both, and
+:func:`~repro.transparency.apply.apply_transparency_path` would refuse
+the path outright.
+
+Demands on *different* muxes that happen to share a select net are a
+softer matter: the transparency-mode wrapper inserts a per-mux
+``tsel_`` override, so disagreeing values on a shared select line are
+still realizable in test mode.  The solver records those as advisories
+(surfaced by the ``analysis.select-sharing`` lint rule at INFO), not
+refutations.
+
+The check is a unit-propagation pass over two variable families --
+``("mux", name)`` for whole-mux leg choices and ``("bit", comp, index)``
+for the select-net bits each choice implies -- with no search and no
+external solver: transparency paths only ever *assert* literals, so
+propagation alone decides consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.rtl.components import Mux
+from repro.rtl.types import expr_parts
+
+
+@dataclass(frozen=True)
+class SelectDemand:
+    """One ``(mux, leg)`` assignment demanded along a path, with its cause."""
+
+    mux: str
+    leg: int
+    cause: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"mux": self.mux, "leg": self.leg, "cause": self.cause}
+
+
+@dataclass(frozen=True)
+class SelectConflict:
+    """Two irreconcilable demands on the same select variable."""
+
+    variable: str
+    value_a: int
+    cause_a: str
+    value_b: int
+    cause_b: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.variable} is forced to {self.value_a} by {self.cause_a} "
+            f"and to {self.value_b} by {self.cause_b}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "variable": self.variable,
+            "value_a": self.value_a,
+            "cause_a": self.cause_a,
+            "value_b": self.value_b,
+            "cause_b": self.cause_b,
+        }
+
+
+@dataclass
+class SelectSolver:
+    """Unit-propagation over the select demands of one candidate mode."""
+
+    circuit: object
+    demands: List[SelectDemand] = field(default_factory=list)
+    conflicts: List[SelectConflict] = field(default_factory=list)
+    advisories: List[str] = field(default_factory=list)
+    structural: List[str] = field(default_factory=list)
+    _values: Dict[Tuple, Tuple[int, str]] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.conflicts and not self.structural
+
+    def _assign(self, variable: Tuple, description: str, value: int, cause: str, hard: bool) -> None:
+        held = self._values.get(variable)
+        if held is None:
+            self._values[variable] = (value, cause)
+            return
+        held_value, held_cause = held
+        if held_value == value:
+            return
+        conflict = SelectConflict(description, held_value, held_cause, value, cause)
+        if hard:
+            self.conflicts.append(conflict)
+        else:
+            self.advisories.append(conflict.describe())
+
+    def demand(self, mux_name: str, leg: int, cause: str) -> None:
+        """Assert ``mux_name`` = leg ``leg`` and propagate onto select bits."""
+        self.demands.append(SelectDemand(mux_name, leg, cause))
+        try:
+            mux = self.circuit.get(mux_name)
+        except ReproError:
+            self.structural.append(f"{cause} steers through unknown mux {mux_name!r}")
+            return
+        if not isinstance(mux, Mux):
+            self.structural.append(
+                f"{cause} steers through {mux_name!r}, which is a "
+                f"{mux.kind.value}, not a mux"
+            )
+            return
+        if not 0 <= leg < len(mux.inputs):
+            self.structural.append(
+                f"{cause} demands leg {leg} of mux {mux_name!r}, which has "
+                f"only {len(mux.inputs)} legs"
+            )
+            return
+        self._assign(("mux", mux_name), f"mux {mux_name!r}", leg, cause, hard=True)
+        if mux.select is None:
+            return
+        bits = [
+            (part.comp, part.lo + offset)
+            for part in expr_parts(mux.select)
+            for offset in range(part.width)
+        ]
+        for position, (comp, index) in enumerate(bits[: mux.select_width]):
+            self._assign(
+                ("bit", comp, index),
+                f"select line {comp}[{index}]",
+                (leg >> position) & 1,
+                cause,
+                hard=False,
+            )
+
+
+def check_path_selects(circuit, path) -> SelectSolver:
+    """Collect and propagate every select demand of ``path``'s tree."""
+    solver = SelectSolver(circuit)
+
+    def visit(node) -> None:
+        for arc, sub in node.branches:
+            for mux_name, leg in arc.mux_path:
+                solver.demand(mux_name, leg, f"arc {arc}")
+            visit(sub)
+
+    visit(path.tree)
+    return solver

@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro schedule System4 -p 80    # ...under a scan-power budget
     python -m repro lint System3              # static design-rule check
     python -m repro lint System3 --json       # ...as machine-readable JSON
+    python -m repro certify System3 --json    # transparency proof certificate
+    python -m repro certify System1 --replay  # ...checked against the simulator
     python -m repro profile System3           # per-stage time/counter breakdown
     python -m repro regress --ledger L.jsonl  # statistical regression gates
     python -m repro report System1 --quick    # markdown/HTML run report
@@ -260,6 +262,87 @@ def cmd_lint(args) -> int:
     else:
         print(report.render())
     return 1 if report.has_at_least(fail_on) else 0
+
+
+def cmd_certify(args) -> int:
+    from repro.analysis import certify_soc, replay_soc
+    from repro.lint import Severity
+
+    try:
+        fail_on = Severity.parse(args.fail_on)
+    except ValueError as error:
+        raise UsageError(str(error))
+    soc = _build_system(args.system)
+    selection = _parse_selection(soc, args.select)
+    certificate = certify_soc(soc, selection=selection)
+    diagnostics = certificate.diagnostics(escalate=True)
+    if args.replay:
+        replays = replay_soc(soc)
+        certificate.replays = [result.to_dict() for result in replays]
+        from repro.lint.diagnostics import Diagnostic, location
+
+        for result in replays:
+            if not result.ok:
+                diagnostics.append(Diagnostic(
+                    rule="analysis.replay",
+                    severity=Severity.ERROR,
+                    location=location(("core", result.core),
+                                      ("version", result.version_index)),
+                    message=(
+                        f"proved {result.direction} path for {result.port} failed "
+                        f"gate-level replay: {result.detail}"
+                    ),
+                    hint="a proof the simulator contradicts is a certifier bug; report it",
+                ))
+    text = certificate.to_json() if args.json else _render_certificate(
+        certificate, diagnostics
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    return 1 if any(d.severity >= fail_on for d in diagnostics) else 0
+
+
+def _render_certificate(certificate, diagnostics) -> str:
+    summary = certificate.summary()
+    rows = []
+    for version in certificate.versions:
+        refuted = [path for path in version.paths if not path.proved]
+        selected = certificate.selection.get(version.core) == version.index
+        rows.append([
+            version.core,
+            f"V{version.index + 1}" + ("*" if selected else ""),
+            str(len(version.paths)),
+            str(len(version.paths) - len(refuted)),
+            str(len(refuted)),
+            "proved" if version.proved else "REFUTED",
+        ])
+    lines = [render_table(
+        ["core", "version", "paths", "proved", "refuted", "status"], rows,
+        title=f"transparency certificate: {certificate.system} "
+              f"({'certified' if certificate.certified else 'NOT CERTIFIED'})",
+    )]
+    routes = [
+        f"  {route.status:<9} {route.kind:<11} {route.core}.{route.port} "
+        f"(latency {route.latency})"
+        for route in certificate.routes
+    ]
+    if routes:
+        lines.append(f"access routes ({summary['routes']} total, "
+                     f"{summary['routes_refuted']} refuted):")
+        lines.extend(routes)
+    if certificate.plan_error:
+        lines.append(f"plan error: {certificate.plan_error}")
+    if certificate.replays is not None:
+        failed = sum(1 for replay in certificate.replays if not replay["ok"])
+        lines.append(f"gate-level replay: {len(certificate.replays)} proved "
+                     f"paths, {failed} mismatched")
+    if diagnostics:
+        lines.append("")
+        lines.extend(str(d) for d in diagnostics)
+    return "\n".join(lines)
 
 
 def _profile_series(system: str, quick: bool) -> str:
@@ -637,6 +720,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_certify = sub.add_parser(
+        "certify", help="symbolic transparency certification of a system",
+        parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  clean: no diagnostics at or above --fail-on\n"
+            "  1  diagnostics at or above --fail-on were reported\n"
+            "  2  usage error (unknown system, selection, or severity)\n"
+        ),
+    )
+    p_certify.add_argument("system", help="system to certify (e.g. System1)")
+    p_certify.add_argument(
+        "-s", "--select", help="version selection, e.g. CPU=3 (default: V1s)",
+    )
+    p_certify.add_argument(
+        "--json", action="store_true",
+        help="emit the certificate as stable (byte-reproducible) JSON",
+    )
+    p_certify.add_argument(
+        "--fail-on", default="error", metavar="SEVERITY",
+        help="lowest severity that causes exit 1: error (default), "
+             "warning, or info",
+    )
+    p_certify.add_argument(
+        "--replay", action="store_true",
+        help="differentially replay every proved path on the gate-level "
+             "simulator and embed the results",
+    )
+    p_certify.add_argument("-o", "--output", help="output file (default stdout)")
+    p_certify.set_defaults(func=cmd_certify)
 
     p_export = sub.add_parser("export", help="export a test plan as JSON", parents=[obs])
     p_export.add_argument("system")

@@ -9,6 +9,10 @@ ids (see DESIGN.md, "Diagnostic contract"):
 * **transparency** -- every core input provably propagates to an output
   and every output slice justifies from inputs, within the declared
   latencies, by shortest-path proof on the RCG (no simulation);
+* **analysis** -- the symbolic certifier (:mod:`repro.analysis`)
+  re-proves every declared path at the bit-slice level: terminal
+  provenance for every root bit, satisfiable mux-select demands, and
+  plan access routes that ride proved paths only;
 * **plan** -- reservation windows fit their cadences, test-mux
   fallbacks are recorded, TAT accounting is internally consistent;
 * **schedule** -- shared resources never double-booked, scan-power
@@ -42,12 +46,19 @@ from repro.lint.diagnostics import (
     location,
 )
 from repro.lint.registry import LintContext, Rule, RuleRegistry
-from repro.lint import rules_netlist, rules_plan, rules_schedule, rules_transparency
+from repro.lint import (
+    rules_analysis,
+    rules_netlist,
+    rules_plan,
+    rules_schedule,
+    rules_transparency,
+)
 
 #: the process-wide registry holding every built-in rule
 DEFAULT_REGISTRY = RuleRegistry()
 rules_netlist.register_rules(DEFAULT_REGISTRY)
 rules_transparency.register_rules(DEFAULT_REGISTRY)
+rules_analysis.register_rules(DEFAULT_REGISTRY)
 rules_plan.register_rules(DEFAULT_REGISTRY)
 rules_schedule.register_rules(DEFAULT_REGISTRY)
 

@@ -18,6 +18,13 @@ rules, enforced in CI over ``src/``:
   comprehension: Python set order varies across runs (hash
   randomization), so anything feeding ordered output must go through
   ``sorted(...)``.
+* **DET004 items-iteration** -- ``for``/comprehension iteration
+  directly over ``*.items()``/``*.keys()``/``*.values()`` inside the
+  proof emitters (:data:`ITEMS_ORDER_SCOPES`, currently
+  ``repro/analysis``): certificates must serialize byte-identically
+  across machines, and while dicts preserve *insertion* order, that
+  order is whatever construction happened to produce -- iterate
+  ``sorted(...)`` so the artifact order is canonical by key.
 
 Run it as ``python -m repro.lint.codestyle [paths...]`` (default:
 ``src``); exit code 1 when issues are found, 0 when clean.
@@ -38,6 +45,11 @@ WALL_CLOCK_SCOPES = (
     "repro/schedule",
     "repro/transparency",
     "repro/flow",
+)
+
+#: path fragments whose modules must iterate mappings in sorted order (DET004)
+ITEMS_ORDER_SCOPES = (
+    "repro/analysis",
 )
 
 #: ``random`` module attributes that are safe (seeded constructors etc.)
@@ -67,10 +79,16 @@ def _in_wall_clock_scope(path: str) -> bool:
     return any(scope in normalized for scope in WALL_CLOCK_SCOPES)
 
 
+def _in_items_order_scope(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(scope in normalized for scope in ITEMS_ORDER_SCOPES)
+
+
 class _DeterminismVisitor(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
         self.check_wall_clock = _in_wall_clock_scope(path)
+        self.check_items_order = _in_items_order_scope(path)
         self.issues: List[StyleIssue] = []
         #: local alias -> canonical module ("random", "time", "datetime")
         self._module_aliases: dict = {}
@@ -210,6 +228,20 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 iterable, "DET003",
                 "iteration over a set has hash-randomized order; wrap in sorted() "
                 "when the result feeds ordered output",
+            )
+        if (
+            self.check_items_order
+            and isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr in ("items", "keys", "values")
+            and not iterable.args
+            and not iterable.keywords
+        ):
+            self._issue(
+                iterable, "DET004",
+                f"iteration over .{iterable.func.attr}() follows insertion "
+                f"order, which is not canonical; certificate emitters must "
+                f"iterate sorted(...) so artifacts are byte-stable",
             )
 
 

@@ -1,0 +1,133 @@
+"""Proof-backed analysis rules: the symbolic transparency certifier.
+
+Where :mod:`repro.lint.rules_transparency` establishes component-level
+*bounds* (Dijkstra latency lower bounds on the RCG), these rules run
+the bit-exact certifier from :mod:`repro.analysis` and report actual
+refutations:
+
+* ``analysis.slice-provenance`` -- a declared path's slice widths do
+  not line up: some root bits have no terminal provenance (width
+  narrowing, coverage gaps, dangling leaves, latency lies);
+* ``analysis.mux-conflict`` -- the path's ``mux_path`` demands are
+  unsatisfiable (the same mux forced to two legs, or a demand on a
+  missing/undersized mux) -- no select encoding realizes the mode;
+* ``analysis.select-sharing`` -- advisory: two muxes on the path share
+  a select net but demand different values (realizable in test mode
+  via per-mux overrides, at the cost of one extra override mux);
+* ``analysis.access-route`` -- a plan's delivery/observation route
+  leans on a transparency path the certifier refuted, or on a path
+  the selected version never declared.
+
+Per the one-PR demotion/promotion policy (DESIGN.md), the new proof
+rules land at default WARNING; the superseded bound rule
+``trans.latency-overrun`` demotes to WARNING in the same change.
+
+The certifier import stays inside the check functions: analysis is
+heavier than the bound rules and must stay off the ``repro profile``
+import path so the baseline counter ledgers are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import LintContext
+
+
+def _certificate(ctx: LintContext):
+    """Certify (once per lint pass) everything the context can support.
+
+    Version proofs need only the SOC; route certification additionally
+    needs the plan, which the runner attaches before plan-scope rules
+    fire -- so the cache is keyed on whether the plan was seen.
+    """
+    from repro.analysis import Certificate, certify_plan, certify_version
+
+    cached = getattr(ctx, "_analysis_certificate", None)
+    plan_state = (ctx.plan is not None, ctx.plan_error is not None)
+    if cached is not None and getattr(ctx, "_analysis_plan_state", None) == plan_state:
+        return cached
+    if ctx.soc is None:
+        return None
+    versions = []
+    by_version = {}
+    for core in sorted(ctx.soc.testable_cores(), key=lambda c: c.name):
+        for version in core.versions:
+            certificate = certify_version(
+                core.circuit, version, core_name=core.name, hscan=core.hscan
+            )
+            versions.append(certificate)
+            by_version[(core.name, version.index)] = certificate
+    if ctx.plan is not None:
+        selection = dict(ctx.plan.selection)
+        routes = certify_plan(ctx.plan, by_version)
+    else:
+        selection = {core.name: 0 for core in ctx.soc.testable_cores()}
+        routes = []
+    cached = Certificate(
+        system=ctx.system,
+        selection=selection,
+        versions=versions,
+        routes=routes,
+        plan_error=str(ctx.plan_error) if ctx.plan_error is not None else None,
+    )
+    ctx._analysis_certificate = cached
+    ctx._analysis_plan_state = plan_state
+    return cached
+
+
+def _rule_diagnostics(ctx: LintContext, rule_id: str) -> List[Diagnostic]:
+    certificate = _certificate(ctx)
+    if certificate is None:
+        return []
+    return [d for d in certificate.diagnostics() if d.rule == rule_id]
+
+
+def check_slice_provenance(ctx: LintContext) -> Iterator[Diagnostic]:
+    """analysis.slice-provenance: declared paths transport every bit."""
+    for diagnostic in _rule_diagnostics(ctx, "analysis.slice-provenance"):
+        yield diagnostic
+
+
+def check_mux_conflicts(ctx: LintContext) -> Iterator[Diagnostic]:
+    """analysis.mux-conflict: path select demands are satisfiable."""
+    for diagnostic in _rule_diagnostics(ctx, "analysis.mux-conflict"):
+        yield diagnostic
+
+
+def check_select_sharing(ctx: LintContext) -> Iterator[Diagnostic]:
+    """analysis.select-sharing: shared select nets driven both ways."""
+    for diagnostic in _rule_diagnostics(ctx, "analysis.select-sharing"):
+        yield diagnostic
+
+
+def check_access_routes(ctx: LintContext) -> Iterator[Diagnostic]:
+    """analysis.access-route: plan routes ride proved transparency only."""
+    for diagnostic in _rule_diagnostics(ctx, "analysis.access-route"):
+        yield diagnostic
+
+
+def register_rules(registry) -> None:
+    from repro.lint.registry import Rule
+
+    registry.register(Rule(
+        "analysis.slice-provenance", "soc", Severity.WARNING,
+        "transparency paths have bit-exact terminal provenance",
+        check_slice_provenance,
+    ))
+    registry.register(Rule(
+        "analysis.mux-conflict", "soc", Severity.WARNING,
+        "transparency modes have satisfiable select demands",
+        check_mux_conflicts,
+    ))
+    registry.register(Rule(
+        "analysis.select-sharing", "soc", Severity.INFO,
+        "shared select nets need per-mux overrides in test mode",
+        check_select_sharing,
+    ))
+    registry.register(Rule(
+        "analysis.access-route", "plan", Severity.WARNING,
+        "plan access routes are certified by path proofs",
+        check_access_routes,
+    ))

@@ -528,9 +528,12 @@ def plan_soc_test(
     Cached and uncached plans are bit-identical.
 
     ``strict=True`` runs the structural design rules (:mod:`repro.lint`,
-    circuit + soc + transparency scopes) before planning and raises
-    :class:`~repro.errors.LintError` on any rule error -- catching
-    malformed designs before a single ATPG or simulation cycle.
+    circuit + soc + transparency scopes) and the symbolic transparency
+    certifier (:func:`repro.analysis.strict_gate_access`: slice
+    provenance + mux-select consistency of every selected version)
+    before planning, raising :class:`~repro.errors.LintError` on any
+    rule error or refuted path -- catching malformed designs before a
+    single ATPG or simulation cycle.
     """
     from repro.exec.cache import cache_enabled, plan_cache_for
 
@@ -538,6 +541,9 @@ def plan_soc_test(
         from repro.lint import strict_gate_soc
 
         strict_gate_soc(soc)
+        from repro.analysis import strict_gate_access
+
+        strict_gate_access(soc, selection)
     with profile_section("chiplevel.plan", soc=soc.name) as section:
         soc.validate()
         if selection is None:

@@ -83,9 +83,15 @@ def apply_transparency_path(
     path: TransparencyPath,
     mode_name: str = TRANS_MODE,
 ) -> TransparencyApplication:
-    """Wire ``path`` into a copy of ``circuit`` as test-mode hardware."""
-    if path.direction != "justify":
-        raise TransparencyError("only justification paths can be applied (reverse propagate first)")
+    """Wire ``path`` into a copy of ``circuit`` as test-mode hardware.
+
+    Both directions apply: a justify path additionally gets freeze
+    holds (terminal inputs settle at different times), while a
+    propagate path needs none -- its single root word enters once and
+    every register on the way loads every cycle.
+    """
+    if path.direction not in ("justify", "propagate"):
+        raise TransparencyError(f"cannot apply a path with direction {path.direction!r}")
     modified = circuit.copy(f"{circuit.name}_trans")
     modified.add(Input(mode_name, 1))
     mode = Slice(mode_name, 0, 1)
@@ -160,7 +166,7 @@ def apply_transparency_path(
     # ------------------------------------------------------------------
     # 4. load forcing + freeze holds on path registers
     # ------------------------------------------------------------------
-    schedule = freeze_schedule(path)
+    schedule = freeze_schedule(path) if path.direction == "justify" else {}
     hold_inputs: Dict[str, str] = {}
     for register_name in sorted(path_registers):
         register: Register = modified.get(register_name)  # type: ignore[assignment]

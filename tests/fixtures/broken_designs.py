@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.rtl import CircuitBuilder, OpKind, Slice
+from repro.rtl.types import Concat
 from repro.schedule import ScheduledTest, TestSchedule
 from repro.soc import Core, Soc, plan_soc_test
 
@@ -135,6 +136,118 @@ def lying_latency_soc() -> Soc:
     version = soc.cores["A"].versions[0]
     path = version.propagate_paths["IN"]
     version.propagate_paths["IN"] = dataclasses.replace(path, latency=0)
+    return soc
+
+
+# ----------------------------------------------------------------------
+# certifier fixtures (analysis.*)
+# ----------------------------------------------------------------------
+def narrowed_transparency_soc() -> Soc:
+    """A core whose netlist diverged after version generation.
+
+    The versions were generated while R0 loaded ``{INHI, INLO}``; the
+    shipped circuit routes the upper nibble through an inverter instead,
+    so the declared full-width justify/propagate paths claim 8 bits of
+    transport where the hardware only carries 4.  The certifier refutes
+    them with slice-level diagnostics (analysis.slice-provenance) and
+    the differential replay observes the inverted nibble.
+    """
+    b = CircuitBuilder("A")
+    lo = b.input("INLO", 4)
+    hi = b.input("INHI", 4)
+    inv = b.op("INV", OpKind.NOT, [hi], width=4)
+    r = b.register("R0", 8)
+    b.drive(r, Concat((lo, hi)))
+    b.output("OUT", r)
+    b.output("NOUT", inv)
+    core = Core.from_circuit(b.build(), test_vectors=4)
+    # tamper: the upper nibble now physically routes through the inverter
+    core.circuit.get("R0").driver = Concat((Slice("INLO", 0, 4), Slice("INV", 0, 4)))
+
+    soc = Soc("narrowed")
+    soc.add_core(core)
+    soc.add_input("PINL", 4)
+    soc.add_input("PINH", 4)
+    soc.add_output("POUT", 8)
+    soc.add_output("PNOUT", 4)
+    soc.wire(None, "PINL", "A", "INLO")
+    soc.wire(None, "PINH", "A", "INHI")
+    soc.wire("A", "OUT", None, "POUT")
+    soc.wire("A", "NOUT", None, "PNOUT")
+    return soc
+
+
+def mux_conflict_soc() -> Soc:
+    """A justify path that forces one mux onto both of its legs.
+
+    Each of MX's legs is transparent on a different nibble (the other
+    nibble is inverted), so justifying the full 8-bit output needs leg 0
+    for the low word and leg 1 for the high word -- the same select in
+    one cycle.  The generator emits that path anyway; the certifier's
+    unit-propagation solver refutes it (analysis.mux-conflict) and
+    ``apply_transparency_path`` refuses to realize the mode.  The second
+    register stage keeps the output a single full-width justify key.
+    """
+    b = CircuitBuilder("A")
+    a_in = b.input("AIN", 4)
+    b_in = b.input("BIN", 4)
+    sel = b.input("SEL", 1)
+    na = b.op("NA", OpKind.NOT, [a_in], width=4)
+    nb = b.op("NB", OpKind.NOT, [b_in], width=4)
+    m = b.mux("MX", [Concat((a_in, na)), Concat((nb, b_in))], sel, width=8)
+    r = b.register("R", 8)
+    b.drive(r, m)
+    r2 = b.register("R2", 8)
+    b.drive(r2, r)
+    b.output("OUT", r2)
+
+    soc = Soc("muxconflict")
+    soc.add_core(Core.from_circuit(b.build(), test_vectors=4))
+    soc.add_input("PA", 4)
+    soc.add_input("PB", 4)
+    soc.add_input("PSEL", 1)
+    soc.add_output("POUT", 8)
+    soc.wire(None, "PA", "A", "AIN")
+    soc.wire(None, "PB", "A", "BIN")
+    soc.wire(None, "PSEL", "A", "SEL")
+    soc.wire("A", "OUT", None, "POUT")
+    return soc
+
+
+def shared_select_soc() -> Soc:
+    """Two muxes on one select net, demanded opposite ways: advisory only.
+
+    M0 is transparent on leg 0 and M1 on leg 1, both selected by SEL.
+    The full-width justify path needs M0=0 and M1=1 simultaneously --
+    unrealizable on the functional select net, but fine in test mode
+    because ``apply_transparency_path`` gives each mux its own
+    ``tsel_*`` override.  The certifier reports
+    analysis.select-sharing at INFO and still proves the path.
+    """
+    b = CircuitBuilder("A")
+    a_in = b.input("AIN", 4)
+    b_in = b.input("BIN", 4)
+    sel = b.input("SEL", 1)
+    na = b.op("NA", OpKind.NOT, [a_in], width=4)
+    nb = b.op("NB", OpKind.NOT, [b_in], width=4)
+    m0 = b.mux("M0", [a_in, na], sel, width=4)
+    m1 = b.mux("M1", [nb, b_in], sel, width=4)
+    r = b.register("R0", 8)
+    b.drive(r, Concat((m0, m1)))
+    r2 = b.register("R1", 8)
+    b.drive(r2, r)
+    b.output("OUT", r2)
+
+    soc = Soc("sharedselect")
+    soc.add_core(Core.from_circuit(b.build(), test_vectors=4))
+    soc.add_input("PA", 4)
+    soc.add_input("PB", 4)
+    soc.add_input("PSEL", 1)
+    soc.add_output("POUT", 8)
+    soc.wire(None, "PA", "A", "AIN")
+    soc.wire(None, "PB", "A", "BIN")
+    soc.wire(None, "PSEL", "A", "SEL")
+    soc.wire("A", "OUT", None, "POUT")
     return soc
 
 

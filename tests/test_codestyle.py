@@ -65,6 +65,26 @@ class TestDet003SetIteration:
         assert check_source("for x in [1, 2]:\n    pass\n") == []
 
 
+class TestDet004ItemsIteration:
+    def test_items_in_analysis_scope_flagged(self):
+        src = "for k, v in d.items():\n    pass\n"
+        issues = check_source(src, "src/repro/analysis/certify.py")
+        assert codes(issues) == ["DET004"]
+
+    def test_keys_and_values_flagged_too(self):
+        src = "a = [k for k in d.keys()]\nb = [v for v in d.values()]\n"
+        issues = check_source(src, "src/repro/analysis/provenance.py")
+        assert codes(issues) == ["DET004", "DET004"]
+
+    def test_sorted_items_allowed(self):
+        src = "for k, v in sorted(d.items()):\n    pass\n"
+        assert check_source(src, "src/repro/analysis/certify.py") == []
+
+    def test_outside_analysis_scope_allowed(self):
+        src = "for k, v in d.items():\n    pass\n"
+        assert check_source(src, "src/repro/soc/plan.py") == []
+
+
 class TestRunner:
     def test_syntax_error_reported_not_raised(self):
         issues = check_source("def broken(:\n")

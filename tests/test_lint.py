@@ -68,12 +68,39 @@ class TestRulesFire:
         (bd.doubly_driven_soc, "soc.input-drivers"),
         (bd.uncovered_input_soc, "trans.input-propagation"),
         (bd.unjustified_output_soc, "trans.output-justification"),
-        (bd.lying_latency_soc, "trans.latency-overrun"),
     ])
     def test_soc_rules(self, fixture, rule):
         report = lint_soc(fixture())
         assert rule in fired(report)
-        assert report.errors  # all soc-scope fixtures break ERROR rules
+        assert report.errors  # these soc-scope fixtures break ERROR rules
+
+    @pytest.mark.parametrize("fixture, rule", [
+        (bd.lying_latency_soc, "trans.latency-overrun"),
+        (bd.lying_latency_soc, "analysis.slice-provenance"),
+        (bd.narrowed_transparency_soc, "analysis.slice-provenance"),
+        (bd.mux_conflict_soc, "analysis.mux-conflict"),
+    ])
+    def test_soc_warning_rules(self, fixture, rule):
+        """Proof rules land at WARNING; trans.latency-overrun demoted with them."""
+        report = lint_soc(fixture())
+        assert rule in fired(report)
+        assert rule in {d.rule for d in report.warnings}
+        assert report.errors == []
+
+    def test_shared_select_is_advisory_only(self):
+        """Different muxes on one select net: realizable, so INFO not refuted."""
+        report = lint_soc(bd.shared_select_soc())
+        notes = [d for d in report.diagnostics if d.rule == "analysis.select-sharing"]
+        assert notes and all(d.severity is Severity.INFO for d in notes)
+        assert report.errors == [] and report.warnings == []
+
+    def test_narrowed_diagnostics_name_slices(self):
+        """Refutations carry the offending slice ranges, not just port names."""
+        report = lint_soc(bd.narrowed_transparency_soc())
+        messages = [d.message for d in report.diagnostics
+                    if d.rule == "analysis.slice-provenance"]
+        assert messages
+        assert any("INHI[3:0]" in m and "R0[7:4]" in m for m in messages)
 
     @pytest.mark.parametrize("fixture, rule", [
         (bd.tampered_cadence_plan, "plan.reservation-overlap"),
@@ -146,6 +173,8 @@ class TestRegistry:
             "plan.reservation-overlap", "plan.mux-unrecorded",
             "plan.tat-consistency", "plan.selection-range", "plan.mux-usage",
             "sched.infeasible", "sched.resource-conflict", "sched.power-budget",
+            "analysis.slice-provenance", "analysis.mux-conflict",
+            "analysis.select-sharing", "analysis.access-route",
         }
 
 
@@ -195,7 +224,8 @@ class TestCliLint:
 
     def test_disable_flag_reaches_registry(self, capsys):
         assert main(["lint", "System1", "--fail-on", "info",
-                     "--disable", "plan.mux-usage"]) == 0
+                     "--disable", "plan.mux-usage",
+                     "--disable", "analysis.select-sharing"]) == 0
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +245,20 @@ class TestStrictGates:
     def test_plan_soc_test_strict_rejects(self):
         with pytest.raises(LintError):
             plan_soc_test(bd.partially_driven_soc(), strict=True)
+
+    @pytest.mark.parametrize("fixture", [
+        bd.narrowed_transparency_soc, bd.mux_conflict_soc,
+    ])
+    def test_strict_gate_runs_certifier(self, fixture):
+        """Refuted transparency blocks strict planning even with no ERROR lint."""
+        with pytest.raises(LintError) as excinfo:
+            plan_soc_test(fixture(), strict=True)
+        assert "certifier refuted" in str(excinfo.value)
+
+    def test_strict_gate_allows_shared_select(self):
+        """Advisories are not refutations: the plan goes through."""
+        plan = plan_soc_test(bd.shared_select_soc(), strict=True)
+        assert "A" in plan.core_plans
 
     def test_schedule_plan_strict_rejects(self):
         with pytest.raises(LintError):
