@@ -36,8 +36,10 @@ import repro.exec.cache  # noqa: F401
 import repro.exec.pool  # noqa: F401
 import repro.faults.kernel  # noqa: F401
 import repro.faults.simulator  # noqa: F401
+import repro.flow.explain  # noqa: F401
 import repro.gates.kernel  # noqa: F401
 import repro.lint.registry  # noqa: F401
+import repro.obs.attrib  # noqa: F401
 import repro.schedule.packers  # noqa: F401
 import repro.serve.daemon  # noqa: F401
 import repro.serve.jobs  # noqa: F401

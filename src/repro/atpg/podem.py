@@ -20,10 +20,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import AtpgError
 from repro.obs import METRICS
+from repro.obs.attrib import ATTRIB
 from repro.atpg.values import CONTROLLING, ONE, X, ZERO, eval_gate3, v_not
 from repro.faults.model import Fault
 from repro.gates.cells import STATE_KINDS, GateKind
-from repro.gates.levelize import levelize
+from repro.gates.levelize import depth_levels, levelize
 from repro.gates.netlist import Gate, GateNetlist
 
 #: PODEM's assignable sources exclude constants (they cannot be set)
@@ -51,6 +52,10 @@ class PodemResult:
     backtracks: int = 0
     #: total decision-tree assignments tried (first choices + flips)
     decisions: int = 0
+    #: implication passes (three-valued simulations) run by the search
+    implications: int = 0
+    #: objectives whose backtrace dead-ended, forcing a backtrack restart
+    restarts: int = 0
 
 
 def podem(
@@ -77,6 +82,28 @@ def podem(
         _ABORTS.inc()
     elif result.status is PodemStatus.REDUNDANT:
         _REDUNDANT.inc()
+    if ATTRIB.enabled:
+        gate = engine.gates[fault.gate]
+        if fault.pin is None:
+            site = "stem"
+        elif gate.kind in STATE_KINDS:
+            site = "flop-pin"
+        else:
+            site = "pin"
+        ATTRIB.podem_record({
+            "backtracks": result.backtracks,
+            "cone_depth": depth_levels(netlist).get(fault.gate, 0),
+            "decisions": result.decisions,
+            "gate": fault.gate,
+            "gate_kind": gate.kind.value,
+            "implications": result.implications,
+            "netlist": netlist.name,
+            "pin": fault.pin,
+            "restarts": result.restarts,
+            "site": site,
+            "status": result.status.value,
+            "stuck": fault.stuck,
+        })
     return result
 
 
@@ -358,18 +385,24 @@ class _PodemEngine:
     def search(self) -> PodemResult:
         backtracks = 0
         tried = 0
+        implications = 0
+        restarts = 0
         decisions: List[Tuple[str, int, bool]] = []  # (source, value, both_tried)
         self.simulate()
+        implications += 1
         while True:
             if self.detected():
                 return PodemResult(
-                    PodemStatus.DETECTED, dict(self.assignment), backtracks, tried
+                    PodemStatus.DETECTED, dict(self.assignment), backtracks,
+                    tried, implications, restarts,
                 )
 
             step: Optional[Tuple[str, int]] = None
             goal = self.objective()
             if goal is not None:
                 step = self.backtrace(*goal)
+                if step is None:
+                    restarts += 1
 
             if step is not None:
                 source, value = step
@@ -377,6 +410,7 @@ class _PodemEngine:
                 self.assignment[source] = value
                 tried += 1
                 self.simulate()
+                implications += 1
                 continue
 
             # conflict: backtrack
@@ -387,12 +421,19 @@ class _PodemEngine:
                 if not both_tried:
                     backtracks += 1
                     if backtracks > self.backtrack_limit:
-                        return PodemResult(PodemStatus.ABORTED, {}, backtracks, tried)
+                        return PodemResult(
+                            PodemStatus.ABORTED, {}, backtracks, tried,
+                            implications, restarts,
+                        )
                     decisions.append((source, v_not(value), True))
                     self.assignment[source] = v_not(value)
                     tried += 1
                     flipped = True
                     break
             if not flipped:
-                return PodemResult(PodemStatus.REDUNDANT, {}, backtracks, tried)
+                return PodemResult(
+                    PodemStatus.REDUNDANT, {}, backtracks, tried,
+                    implications, restarts,
+                )
             self.simulate()
+            implications += 1

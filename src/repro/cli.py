@@ -17,6 +17,8 @@ Usage (after ``pip install -e .``)::
     python -m repro profile System3           # per-stage time/counter breakdown
     python -m repro regress --ledger L.jsonl  # statistical regression gates
     python -m repro report System1 --quick    # markdown/HTML run report
+    python -m repro explain System1 --quick   # search-effort attribution report
+    python -m repro explain System1 --json    # ...as the repro-attrib artifact
     python -m repro serve                     # resident planning daemon
     python -m repro submit sweep System1 --wait   # ...job via the daemon
     python -m repro jobs                      # ...daemon job/queue status
@@ -351,6 +353,26 @@ def _profile_series(system: str, quick: bool) -> str:
     return f"profile-{system}" + ("-quick" if quick else "")
 
 
+def _baseline_record(path: str, series: str) -> Optional[Dict]:
+    """The newest baseline record of one series, with usage-grade errors.
+
+    A missing path, or a file that is not a run ledger (wrong schema,
+    not JSONL), is an exit-2 usage error naming the offending path --
+    never a traceback: pointing ``--baseline`` at the wrong file is an
+    operator mistake, not a library failure.
+    """
+    from repro.errors import LedgerSchemaError
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(path)
+    if not ledger.exists():
+        raise UsageError(f"baseline ledger {path!r} does not exist")
+    try:
+        return ledger.latest(series)
+    except LedgerSchemaError as error:
+        raise UsageError(f"baseline ledger {path!r} is not a run ledger: {error}")
+
+
 def cmd_profile(args) -> int:
     from repro.flow.profile import QUICK_MAX_FAULTS, profile_system
 
@@ -415,6 +437,11 @@ def cmd_report(args) -> int:
     from repro.obs.report import build_run_report
 
     series = _profile_series(args.system, args.quick)
+    # resolve the baseline before the measured run: a bad --baseline
+    # path should fail fast, not after minutes of pipeline work
+    baseline_record = None
+    if args.baseline:
+        baseline_record = _baseline_record(args.baseline, series)
     was_enabled = TRACER.enabled
     if not was_enabled:
         enable_tracing()  # the waterfall is derived from trace spans
@@ -429,12 +456,6 @@ def cmd_report(args) -> int:
         if not was_enabled:
             TRACER.disable()
     record = profile.ledger_record(bench=series)
-    baseline_record = None
-    if args.baseline:
-        baseline_ledger = RunLedger(args.baseline)
-        if not baseline_ledger.exists():
-            raise UsageError(f"baseline ledger {args.baseline!r} does not exist")
-        baseline_record = baseline_ledger.latest(series)
     if args.ledger:
         RunLedger(args.ledger).append(record)
     report = build_run_report(
@@ -455,6 +476,63 @@ def cmd_report(args) -> int:
         with open(args.output, "w") as handle:
             handle.write(rendered + ("\n" if not rendered.endswith("\n") else ""))
         print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _explain_series(system: str, quick: bool) -> str:
+    """The ledger series key for an explain variant (mirrors profiles)."""
+    return f"explain-{system}" + ("-quick" if quick else "")
+
+
+def cmd_explain(args) -> int:
+    from repro.flow.explain import explain_system
+    from repro.flow.profile import QUICK_MAX_FAULTS
+    from repro.obs import METRICS
+    from repro.obs.ledger import RunLedger
+    from repro.obs.report import build_run_report
+
+    series = _explain_series(args.system, args.quick)
+    baseline_record = None
+    if args.baseline:
+        baseline_record = _baseline_record(args.baseline, series)
+    report = explain_system(
+        args.system,
+        seed=args.seed,
+        max_faults=QUICK_MAX_FAULTS if args.quick else None,
+        jobs=getattr(args, "jobs", None),
+        top_k=args.top,
+    )
+    record = report.ledger_record(bench=series)
+    if args.ledger:
+        RunLedger(args.ledger).append(record)
+        print(f"appended {record['bench']} record to {args.ledger}",
+              file=sys.stderr)
+    if args.json:
+        # the raw artifact, byte-for-byte what the schema checker and CI
+        # diff expect -- not wrapped in the run-report envelope
+        text = report.artifact_json()
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote attrib artifact to {args.output}")
+        else:
+            sys.stdout.write(text)
+        return 0
+    run_report = build_run_report(
+        title=f"{args.system} search effort",
+        record=record,
+        baseline=baseline_record,
+        registry=METRICS,
+        summary=record.get("results"),
+        top_k=args.top,
+    )
+    rendered = run_report.to_html() if args.html else run_report.to_markdown()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + ("\n" if not rendered.endswith("\n") else ""))
+        print(f"wrote {'html' if args.html else 'md'} report to {args.output}")
     else:
         print(rendered)
     return 0
@@ -514,7 +592,7 @@ def _submit_params(args) -> Dict:
         return {"select": selection} if selection else {}
     if args.type == "sweep":
         return {"selections": [selection]} if selection else {}
-    if args.type == "profile":
+    if args.type in ("profile", "explain"):
         return {"quick": args.quick, "seed": args.seed}
     return {}
 
@@ -825,7 +903,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_regress.add_argument(
         "--ignore-counter", action="append", metavar="PREFIX",
         help="counter prefix excluded from the exact gate (repeatable; "
-             "default: exec., serve.)",
+             "default: exec., serve., attrib., explain.)",
     )
     p_regress.add_argument(
         "--wall-gate", default="auto", choices=["auto", "always", "off"],
@@ -891,6 +969,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.set_defaults(func=cmd_report)
 
+    p_explain = sub.add_parser(
+        "explain", help="attribute search effort: hard faults, sim work, "
+                        "optimizer moves",
+        parents=[obs],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Runs the search stages (SOC build, per-core ATPG, planning,\n"
+            "design-space sweep, TAT minimization) with the effort-attribution\n"
+            "collector on and reports where the search went: the top-K hardest\n"
+            "faults (PODEM effort ledger), simulation work per (level, gate\n"
+            "kind), and the optimizer's move trajectory.  --json emits the raw\n"
+            "byte-stable 'repro-attrib' artifact, checkable offline with\n"
+            "'python -m repro.obs.attrib FILE'; it is bit-identical at any\n"
+            "--jobs count and under either simulation backend.  REPRO_ATTRIB=deep\n"
+            "adds per-fault-site cone-walk detail.\n"
+        ),
+    )
+    p_explain.add_argument("system")
+    p_explain.add_argument("--seed", type=int, default=0,
+                           help="ATPG seed (default 0)")
+    p_explain.add_argument(
+        "--quick", action="store_true",
+        help="cap per-core ATPG at a sampled fault subset (seconds, not minutes)",
+    )
+    explain_format = p_explain.add_mutually_exclusive_group()
+    explain_format.add_argument(
+        "--json", action="store_true",
+        help="emit the raw repro-attrib artifact (byte-stable JSON)",
+    )
+    explain_format.add_argument(
+        "--html", action="store_true",
+        help="render the report as a standalone HTML page (default: markdown)",
+    )
+    p_explain.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="hard faults to rank in the artifact and report (default %(default)s)",
+    )
+    p_explain.add_argument("-o", "--output", metavar="FILE",
+                           help="output file (default stdout)")
+    p_explain.add_argument(
+        "--ledger", metavar="FILE",
+        help="also append this run's record (kind 'explain', artifact "
+             "embedded) to a JSONL run ledger",
+    )
+    p_explain.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline ledger for the counter diff (markdown/HTML report only)",
+    )
+    p_explain.set_defaults(func=cmd_explain)
+
     p_serve = sub.add_parser(
         "serve", help="run the resident planning daemon", parents=[obs],
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -934,7 +1062,8 @@ def build_parser() -> argparse.ArgumentParser:
             "  2  usage error (bad selection, unreachable daemon)\n"
         ),
     )
-    p_submit.add_argument("type", choices=["plan", "sweep", "profile", "lint"],
+    p_submit.add_argument("type",
+                          choices=["plan", "sweep", "profile", "lint", "explain"],
                           help="job type")
     p_submit.add_argument("system", help="system to operate on (e.g. System1)")
     p_submit.add_argument(
@@ -955,10 +1084,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument(
         "--quick", action="store_true",
-        help="profile jobs: cap per-core ATPG at a sampled fault subset",
+        help="profile/explain jobs: cap per-core ATPG at a sampled fault subset",
     )
     p_submit.add_argument("--seed", type=int, default=0,
-                          help="profile jobs: ATPG seed (default 0)")
+                          help="profile/explain jobs: ATPG seed (default 0)")
     p_submit.add_argument(
         "--wait", action="store_true",
         help="block until the job finishes and print its result",

@@ -109,5 +109,9 @@ class LedgerSchemaError(ObservabilityError):
     """A run-ledger record or JSONL file violates the ledger schema."""
 
 
+class AttribSchemaError(ObservabilityError):
+    """A search-effort attribution artifact violates the attrib schema."""
+
+
 class RegressionError(ObservabilityError):
     """The regression observatory could not compare runs (bad inputs)."""

@@ -39,6 +39,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import UsageError
 from repro.obs import METRICS, TRACER
+from repro.obs.attrib import ATTRIB
 
 logger = logging.getLogger("repro.exec.pool")
 
@@ -89,23 +90,31 @@ def _ship_spans(trace_context, trace_mark):
 
 
 def _run_plain(payload):
-    fn, item, trace_context = payload
+    fn, item, trace_context, attrib_mode = payload
     TRACER.adopt(trace_context)
+    # Attribution enablement follows the parent (robust under spawn,
+    # where env-derived state is not inherited the way fork copies it).
+    ATTRIB.configure(attrib_mode)
     trace_mark = TRACER.mark()
     mark = METRICS.mark()
+    attrib_mark = ATTRIB.mark()
     result = fn(item)
     delta = METRICS.delta_since(mark)
-    return result, delta, _ship_spans(trace_context, trace_mark)
+    attrib_delta = ATTRIB.delta_since(attrib_mark)
+    return result, delta, _ship_spans(trace_context, trace_mark), attrib_delta
 
 
 def _run_with_context(payload):
-    fn, item, trace_context = payload
+    fn, item, trace_context, attrib_mode = payload
     TRACER.adopt(trace_context)
+    ATTRIB.configure(attrib_mode)
     trace_mark = TRACER.mark()
     mark = METRICS.mark()
+    attrib_mark = ATTRIB.mark()
     result = fn(_WORKER_CONTEXT, item)
     delta = METRICS.delta_since(mark)
-    return result, delta, _ship_spans(trace_context, trace_mark)
+    attrib_delta = ATTRIB.delta_since(attrib_mark)
+    return result, delta, _ship_spans(trace_context, trace_mark), attrib_delta
 
 
 def _warm_task(_item):
@@ -189,16 +198,18 @@ class ParallelExecutor:
                 return self._map_serial(fn, items)
             runner = _run_plain if self.context is None else _run_with_context
             trace_context = TRACER.context()
-            payloads = [(fn, item, trace_context) for item in items]
+            payloads = [(fn, item, trace_context, ATTRIB.mode) for item in items]
             if chunksize is None:
                 chunksize = max(1, math.ceil(len(items) / (self.jobs * 2)))
             try:
                 pool = self._ensure_pool()
                 results: List = []
-                for result, delta, spans in pool.map(
+                for result, delta, spans, attrib_delta in pool.map(
                     runner, payloads, chunksize=chunksize
                 ):
                     METRICS.merge_delta(delta)
+                    if attrib_delta:
+                        ATTRIB.merge_delta(attrib_delta)
                     if spans:
                         _SPANS_SHIPPED.inc(TRACER.absorb(spans))
                     results.append(result)

@@ -38,7 +38,13 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.faults.simulator import FaultSimResult, Pattern, _lowest_bit
+from repro.faults.simulator import (
+    FaultSimResult,
+    Pattern,
+    _lowest_bit,
+    attrib_cone_profile,
+    attrib_netlist_profile,
+)
 from repro.gates.cells import STATE_KINDS, GateKind
 from repro.gates.kernel import (
     ALL_ONES,
@@ -54,6 +60,7 @@ from repro.gates.kernel import (
 )
 from repro.gates.netlist import GateNetlist
 from repro.obs import METRICS
+from repro.obs.attrib import ATTRIB
 
 # the scalar simulator's instruments, shared by name so both backends
 # advance the very same counters
@@ -159,6 +166,8 @@ def grade_combinational(
     if not alive:
         # the scalar loop grades one batch before noticing it has no faults
         _BATCHES.inc()
+        if ATTRIB.enabled:
+            ATTRIB.sim_good(attrib_netlist_profile(netlist))
         return result
 
     # ---- static per-fault lowering (one plan per distinct fault,
@@ -297,6 +306,10 @@ def grade_combinational(
         det_col = detect[:, w].tolist()
         _BATCHES.inc()
         _EVENTS.inc(count * len(alive))
+        attrib = ATTRIB.enabled
+        if attrib:
+            ATTRIB.sim_good(attrib_netlist_profile(netlist))
+            ATTRIB.sim_sweep(count * len(alive))
         still_alive: List[Fault] = []
         still_idx: List[int] = []
         dropped = 0
@@ -309,6 +322,13 @@ def grade_combinational(
                     _CONE_REUSES.inc()
                 else:
                     fsim._cone(fault.gate)
+                if attrib:
+                    ATTRIB.sim_cone(
+                        attrib_cone_profile(
+                            fsim, fault.gate, cone_cache[cone_keys[i]][0]
+                        ),
+                        f"{netlist.name}::{fault.gate}",
+                    )
             word = det_col[i]
             if word:
                 result.detected.append(fault)

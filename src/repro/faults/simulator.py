@@ -19,11 +19,13 @@ from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.gates.cells import SOURCE_KINDS, GateKind
 from repro.gates.kernel import resolve_backend
+from repro.gates.levelize import depth_levels
 from repro.gates.netlist import GateNetlist
 from repro.gates.simulator import CombinationalSimulator, eval_kind
 from repro.gates.sequential import SequentialSimulator
 from repro.gates.simulator import FaultSite
 from repro.obs import METRICS, profile_section
+from repro.obs.attrib import ATTRIB
 
 logger = logging.getLogger("repro.faults.simulator")
 
@@ -57,6 +59,60 @@ def clear_cone_caches() -> None:
     run in the process already walked the same netlists.
     """
     _SHARED_CONES.clear()
+    _ATTRIB_PROFILES.clear()
+
+
+#: netlist -> {"netlist": profile, ("cone", observe_key, site): profile}
+#: -- per-(level, kind) gate populations feeding effort attribution
+_ATTRIB_PROFILES: "weakref.WeakKeyDictionary[GateNetlist, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def attrib_netlist_profile(netlist: GateNetlist) -> Dict[str, int]:
+    """``level:kind`` -> evaluated-gate count for one full good-value pass.
+
+    Counts exactly the gates the compiled kernels group into op slots
+    (everything outside :data:`SOURCE_KINDS`), bucketed by the shared
+    :func:`depth_levels` definition, so the scalar oracle and the numpy
+    kernels attribute identical populations.
+    """
+    try:
+        store = _ATTRIB_PROFILES.setdefault(netlist, {})
+    except TypeError:  # unweakrefable netlist stand-in (tests)
+        store = {}
+    profile = store.get("netlist")
+    if profile is None:
+        levels = depth_levels(netlist)
+        profile = {}
+        for gate in netlist.gates():
+            if gate.kind in SOURCE_KINDS:
+                continue
+            bucket = f"{levels[gate.name]}:{gate.kind.value}"
+            profile[bucket] = profile.get(bucket, 0) + 1
+        store["netlist"] = profile
+    return profile
+
+
+def attrib_cone_profile(
+    fsim: "FaultSimulator", site_gate: str, cone: Sequence[str]
+) -> Dict[str, int]:
+    """``level:kind`` profile of one detection cone (cached per site)."""
+    try:
+        store = _ATTRIB_PROFILES.setdefault(fsim.netlist, {})
+    except TypeError:
+        store = {}
+    key = ("cone", fsim._observe_key, site_gate)
+    profile = store.get(key)
+    if profile is None:
+        levels = depth_levels(fsim.netlist)
+        profile = {}
+        for name in cone:
+            gate = fsim.netlist.gate(name)
+            bucket = f"{levels[name]}:{gate.kind.value}"
+            profile[bucket] = profile.get(bucket, 0) + 1
+        store[key] = profile
+    return profile
 
 Pattern = Mapping[str, int]  # source gate name -> bit value
 
@@ -186,6 +242,9 @@ class FaultSimulator:
 
             _BATCHES.inc()
             _EVENTS.inc(count * len(alive))
+            if ATTRIB.enabled:
+                ATTRIB.sim_good(attrib_netlist_profile(self.netlist))
+                ATTRIB.sim_sweep(count * len(alive))
 
             still_alive: List[Fault] = []
             for fault in alive:
@@ -235,6 +294,11 @@ class FaultSimulator:
             overlay = {fault.gate: faulty_value}
 
         cone, observed = self._cone(cone_root)
+        if ATTRIB.enabled:
+            ATTRIB.sim_cone(
+                attrib_cone_profile(self, cone_root, cone),
+                f"{self.netlist.name}::{cone_root}",
+            )
         if not observed:
             return 0
 

@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.gates.cells import SOURCE_KINDS, STATE_KINDS, GateKind
-from repro.gates.levelize import levelize
+from repro.gates.levelize import depth_levels
 from repro.gates.netlist import GateNetlist
 from repro.obs import METRICS, profile_section
 
@@ -215,18 +215,10 @@ class CompiledProgram:
         self.names: List[str] = names
         self.rows = len(names) + 2
 
-        #: gate name -> level (sources 0, gates 1 + max fanin level)
-        level: Dict[str, int] = {}
-        for name in levelize(netlist):
-            gate = netlist.gate(name)
-            if gate.kind in SOURCE_KINDS:
-                level[name] = 0
-            else:
-                level[name] = 1 + max(
-                    (level[f] for f in gate.fanins
-                     if netlist.gate(f).kind not in SOURCE_KINDS),
-                    default=0,
-                )
+        #: gate name -> level (sources 0, gates 1 + max fanin level);
+        #: shared with the scalar-side attribution profiles so both
+        #: backends bucket work identically
+        level = dict(depth_levels(netlist))
         self.level: Dict[str, int] = level
         self.depth = max(level.values(), default=0)
 

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from typing import Dict, List
+from weakref import WeakKeyDictionary
 
 from repro.errors import NetlistError
 from repro.gates.cells import SOURCE_KINDS
 from repro.gates.netlist import GateNetlist
+
+_DEPTH_CACHE: "WeakKeyDictionary[GateNetlist, Dict[str, int]]" = WeakKeyDictionary()
 
 
 def levelize(netlist: GateNetlist) -> List[str]:
@@ -50,3 +53,33 @@ def levelize(netlist: GateNetlist) -> List[str]:
             f"combinational cycle involving {sorted(unresolved)[:5]} in {netlist.name!r}"
         )
     return order
+
+
+def depth_levels(netlist: GateNetlist) -> Dict[str, int]:
+    """Logic depth of every gate: sources are level 0, a combinational
+    gate is one past its deepest non-source fanin.
+
+    This is the level definition the compiled kernels group their ops
+    by, shared here so scalar-side consumers (effort attribution, the
+    PODEM ledger) bucket identically without importing numpy.  Cached
+    per netlist; treat the result as read-only.
+    """
+    cached = _DEPTH_CACHE.get(netlist)
+    if cached is not None:
+        return cached
+    levels: Dict[str, int] = {}
+    for name in levelize(netlist):
+        gate = netlist.gate(name)
+        if gate.kind in SOURCE_KINDS:
+            levels[name] = 0
+        else:
+            levels[name] = 1 + max(
+                (
+                    levels[source]
+                    for source in gate.fanins
+                    if netlist.gate(source).kind not in SOURCE_KINDS
+                ),
+                default=0,
+            )
+    _DEPTH_CACHE[netlist] = levels
+    return levels

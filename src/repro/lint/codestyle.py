@@ -20,11 +20,12 @@ rules, enforced in CI over ``src/``:
   ``sorted(...)``.
 * **DET004 items-iteration** -- ``for``/comprehension iteration
   directly over ``*.items()``/``*.keys()``/``*.values()`` inside the
-  proof emitters (:data:`ITEMS_ORDER_SCOPES`, currently
-  ``repro/analysis``): certificates must serialize byte-identically
-  across machines, and while dicts preserve *insertion* order, that
-  order is whatever construction happened to produce -- iterate
-  ``sorted(...)`` so the artifact order is canonical by key.
+  proof emitters and artifact builders (:data:`ITEMS_ORDER_SCOPES`,
+  currently ``repro/analysis`` and ``repro/obs/attrib``): certificates
+  and attribution artifacts must serialize byte-identically across
+  machines, and while dicts preserve *insertion* order, that order is
+  whatever construction happened to produce -- iterate ``sorted(...)``
+  so the artifact order is canonical by key.
 
 Run it as ``python -m repro.lint.codestyle [paths...]`` (default:
 ``src``); exit code 1 when issues are found, 0 when clean.
@@ -45,11 +46,13 @@ WALL_CLOCK_SCOPES = (
     "repro/schedule",
     "repro/transparency",
     "repro/flow",
+    "repro/obs/attrib",
 )
 
 #: path fragments whose modules must iterate mappings in sorted order (DET004)
 ITEMS_ORDER_SCOPES = (
     "repro/analysis",
+    "repro/obs/attrib",
 )
 
 #: ``random`` module attributes that are safe (seeded constructors etc.)

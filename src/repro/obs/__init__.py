@@ -30,6 +30,14 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
+from repro.obs.attrib import (
+    ATTRIB,
+    AttribCollector,
+    artifact_json,
+    build_artifact,
+    resolve_attrib_mode,
+    validate_artifact,
+)
 from repro.obs.ledger import (
     RunLedger,
     environment_fingerprint,
@@ -73,6 +81,12 @@ METRICS = DEFAULT_REGISTRY
 TRACER = DEFAULT_TRACER
 
 __all__ = [
+    "ATTRIB",
+    "AttribCollector",
+    "artifact_json",
+    "build_artifact",
+    "resolve_attrib_mode",
+    "validate_artifact",
     "Counter",
     "Gauge",
     "Histogram",

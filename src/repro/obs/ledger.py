@@ -56,11 +56,14 @@ LEDGER_SCHEMA = "repro-ledger"
 #: per-job wall seconds, ``results`` the job summaries and tenants);
 #: 3 -- adds the optional ``histograms`` field ({name: summary dict},
 #: the well-defined empty-summary shape included) feeding the
-#: histogram-percentile SLO gate in :mod:`repro.obs.regress`
-LEDGER_SCHEMA_VERSION = 3
+#: histogram-percentile SLO gate in :mod:`repro.obs.regress`;
+#: 4 -- adds kind "explain" and the optional ``attrib`` field (a full
+#: ``repro-attrib`` search-effort artifact, validated against
+#: :mod:`repro.obs.attrib` on append)
+LEDGER_SCHEMA_VERSION = 4
 
 #: record kinds the schema admits
-RECORD_KINDS = ("bench", "profile", "serve")
+RECORD_KINDS = ("bench", "profile", "serve", "explain")
 
 _REQUIRED_FIELDS = {
     "schema": str,
@@ -130,6 +133,7 @@ def make_record(
     git_sha: Optional[str] = "auto",
     timestamp: Optional[str] = None,
     histograms: Optional[Dict] = None,
+    attrib: Optional[Dict] = None,
 ) -> Dict:
     """Build a schema-valid ledger record.
 
@@ -139,6 +143,8 @@ def make_record(
     ``histograms`` (optional, schema v3) carries summary dicts keyed by
     instrument name -- :meth:`MetricsRegistry.histograms` output -- for
     the percentile SLO gate; omitted entirely when not given.
+    ``attrib`` (optional, schema v4) embeds a ``repro-attrib``
+    search-effort artifact, schema-checked on its own terms.
     """
     if counters is None:
         registry = registry if registry is not None else DEFAULT_REGISTRY
@@ -160,6 +166,8 @@ def make_record(
         record["histograms"] = {
             name: dict(summary) for name, summary in histograms.items()
         }
+    if attrib is not None:
+        record["attrib"] = dict(attrib)
     validate_record(record)
     return record
 
@@ -212,6 +220,8 @@ def validate_record(record: Dict) -> None:
                 problems.append(f"env misses {field!r}")
         if "histograms" in record:
             problems.extend(_histogram_problems(record["histograms"]))
+        if "attrib" in record:
+            problems.extend(_attrib_problems(record["attrib"]))
     if problems:
         raise LedgerSchemaError("; ".join(problems))
 
@@ -244,6 +254,18 @@ def _histogram_problems(histograms) -> List[str]:
                     f"histogram {name!r} stat {field!r} is neither a number nor null"
                 )
     return problems
+
+
+def _attrib_problems(attrib) -> List[str]:
+    """Schema checks for the optional v4 ``attrib`` field.
+
+    The embedded artifact is checked by its own schema validator, so a
+    ledger cannot carry an attribution payload the standalone
+    ``python -m repro.obs.attrib`` checker would reject.
+    """
+    from repro.obs.attrib import validate_artifact
+
+    return [f"attrib: {problem}" for problem in validate_artifact(attrib)]
 
 
 def validate_ledger_file(path: str) -> int:

@@ -195,7 +195,12 @@ class GatePolicy:
     #: stay bit-identical at any job count.  ``serve.`` counters track
     #: daemon load (batching, queue depth, result-cache warmth) and
     #: depend on request arrival timing, not on the planned work.
-    counter_ignore: Tuple[str, ...] = ("exec.", "serve.")
+    #: ``attrib.``/``explain.`` are the same execution-bookkeeping
+    #: class: how many attribution records/explain runs happened depends
+    #: on whether ``REPRO_ATTRIB`` was on, not on the planned work --
+    #: the attributed *totals* are gated through the counters they
+    #: reconcile against (``atpg.*``, ``faultsim.*``).
+    counter_ignore: Tuple[str, ...] = ("exec.", "serve.", "attrib.", "explain.")
     #: "auto" (downgrade on env mismatch), "always", or "off"
     wall_gate: str = "auto"
     #: exact counter comparison on/off

@@ -111,6 +111,56 @@ def counter_diff(candidate: Dict, baseline: Optional[Dict]) -> Dict:
     return {"available": True, "changed": changed, "unchanged": matched}
 
 
+def attrib_views(artifact: Optional[Dict]) -> Optional[Dict]:
+    """Renderable rows from a ``repro-attrib`` artifact (or ``None``).
+
+    Three views, one per attribution plane: the hard-fault table as-is
+    (already ranked and truncated to top-k by the builder), simulation
+    buckets ranked by total words touched, and the optimizer convergence
+    summary flattened to label/value pairs.
+    """
+    if not artifact:
+        return None
+    planes = artifact.get("planes", {})
+    atpg = planes.get("atpg", {})
+    sim = planes.get("sim", {})
+    optimizer = planes.get("optimizer", {}).get("summary", {})
+    buckets = [
+        {
+            "bucket": bucket,
+            "good_words": row["good_words"],
+            "sweep_words": row["sweep_words"],
+            "total": row["good_words"] + row["sweep_words"],
+        }
+        for bucket, row in sorted(sim.get("buckets", {}).items())
+    ]
+    buckets.sort(key=lambda row: (-row["total"], row["bucket"]))
+    totals = atpg.get("totals", {})
+    convergence = [
+        ("candidate moves", optimizer.get("candidates", 0)),
+        ("accepted", optimizer.get("accepted", 0)),
+        ("rejected", optimizer.get("rejected", 0)),
+        ("design-point revisits", optimizer.get("revisits", 0)),
+        ("trailing plateau", optimizer.get("plateau", 0)),
+        ("wasted-move ratio", optimizer.get("wasted_ratio", 0.0)),
+    ]
+    return {
+        "hard_faults": list(atpg.get("hard_faults", [])),
+        "atpg_totals": totals,
+        "sim_buckets": buckets,
+        "sim_scalars": {
+            "cone_walks": sim.get("cone_walks", 0),
+            "good_batches": sim.get("good_batches", 0),
+            "sweep_candidates": sim.get("sweep_candidates", 0),
+        },
+        "convergence": convergence,
+        "move_yield": [
+            {"kind": kind, **row}
+            for kind, row in sorted(optimizer.get("yield", {}).items())
+        ],
+    }
+
+
 # ----------------------------------------------------------------------
 # the report
 # ----------------------------------------------------------------------
@@ -130,6 +180,7 @@ class RunReport:
             self.record.get("counters", {}),
             self.baseline.get("counters") if self.baseline else None,
         )
+        self.attrib = attrib_views(self.record.get("attrib"))
 
     # ------------------------------------------------------------------
     def _header_facts(self) -> List[Tuple[str, str]]:
@@ -209,6 +260,66 @@ class RunReport:
                     f"| `{row['section']}` | {row['seconds'] * 1000:.1f} "
                     f"| {row['calls']} | {row['mean'] * 1000:.2f} "
                     f"| {row['max'] * 1000:.2f} |"
+                )
+            lines.append("")
+
+        if self.attrib:
+            views = self.attrib
+            lines.append("## Search-effort attribution")
+            lines.append("")
+            totals = views["atpg_totals"]
+            lines.append(
+                f"ATPG: {totals.get('calls', 0)} PODEM calls, "
+                f"{totals.get('effort', 0)} effort units "
+                f"({totals.get('decisions', 0)} decisions, "
+                f"{totals.get('backtracks', 0)} backtracks, "
+                f"{totals.get('implications', 0)} implications)."
+            )
+            lines.append("")
+            if views["hard_faults"]:
+                lines.append("### Hardest faults")
+                lines.append("")
+                lines.append(
+                    "| fault | site | kind | depth | effort | backtracks "
+                    "| status | abort cause |"
+                )
+                lines.append("| --- | --- | --- | ---: | ---: | ---: | --- | --- |")
+                for row in views["hard_faults"]:
+                    lines.append(
+                        f"| `{row['fault']}` | {row['site']} | {row['gate_kind']} "
+                        f"| {row['cone_depth']} | {row['effort']} "
+                        f"| {row['backtracks']} | {row['status']} "
+                        f"| {row['abort_cause'] or '—'} |"
+                    )
+                lines.append("")
+            if views["sim_buckets"]:
+                scalars = views["sim_scalars"]
+                lines.append("### Simulation work by (level, gate kind)")
+                lines.append("")
+                lines.append(
+                    f"{scalars['good_batches']} good-value batches, "
+                    f"{scalars['sweep_candidates']} survivor-sweep candidates, "
+                    f"{scalars['cone_walks']} detection-cone walks."
+                )
+                lines.append("")
+                lines.append("| level:kind | good words | sweep words | total |")
+                lines.append("| --- | ---: | ---: | ---: |")
+                for row in views["sim_buckets"][:10]:
+                    lines.append(
+                        f"| `{row['bucket']}` | {row['good_words']} "
+                        f"| {row['sweep_words']} | {row['total']} |"
+                    )
+                lines.append("")
+            lines.append("### Optimizer convergence")
+            lines.append("")
+            lines.append("| metric | value |")
+            lines.append("| --- | ---: |")
+            for label, value in views["convergence"]:
+                lines.append(f"| {label} | {value} |")
+            for row in views["move_yield"]:
+                lines.append(
+                    f"| `{row['kind']}` moves accepted | "
+                    f"{row['accepted']}/{row['candidates']} |"
                 )
             lines.append("")
 
@@ -297,6 +408,63 @@ class RunReport:
                     f"<td>{row['seconds'] * 1000:.1f}</td><td>{row['calls']}</td>"
                     f"<td>{row['mean'] * 1000:.2f}</td>"
                     f"<td>{row['max'] * 1000:.2f}</td></tr>"
+                )
+            parts.append("</table>")
+
+        if self.attrib:
+            views = self.attrib
+            totals = views["atpg_totals"]
+            parts.append("<h2>Search-effort attribution</h2>")
+            parts.append(
+                f"<p>ATPG: {totals.get('calls', 0)} PODEM calls, "
+                f"{totals.get('effort', 0)} effort units "
+                f"({totals.get('decisions', 0)} decisions, "
+                f"{totals.get('backtracks', 0)} backtracks, "
+                f"{totals.get('implications', 0)} implications).</p>"
+            )
+            if views["hard_faults"]:
+                parts.append("<h3>Hardest faults</h3><table>")
+                parts.append(
+                    "<tr><th>fault</th><th>site</th><th>kind</th><th>depth</th>"
+                    "<th>effort</th><th>backtracks</th><th>status</th>"
+                    "<th>abort cause</th></tr>"
+                )
+                for row in views["hard_faults"]:
+                    parts.append(
+                        f"<tr><td><code>{esc(row['fault'])}</code></td>"
+                        f"<td>{esc(row['site'])}</td><td>{esc(row['gate_kind'])}</td>"
+                        f"<td>{row['cone_depth']}</td><td>{row['effort']}</td>"
+                        f"<td>{row['backtracks']}</td><td>{esc(row['status'])}</td>"
+                        f"<td>{esc(row['abort_cause'] or '—')}</td></tr>"
+                    )
+                parts.append("</table>")
+            if views["sim_buckets"]:
+                scalars = views["sim_scalars"]
+                parts.append("<h3>Simulation work by (level, gate kind)</h3>")
+                parts.append(
+                    f"<p>{scalars['good_batches']} good-value batches, "
+                    f"{scalars['sweep_candidates']} survivor-sweep candidates, "
+                    f"{scalars['cone_walks']} detection-cone walks.</p>"
+                )
+                parts.append(
+                    "<table><tr><th>level:kind</th><th>good words</th>"
+                    "<th>sweep words</th><th>total</th></tr>"
+                )
+                for row in views["sim_buckets"][:10]:
+                    parts.append(
+                        f"<tr><td><code>{esc(row['bucket'])}</code></td>"
+                        f"<td>{row['good_words']}</td><td>{row['sweep_words']}</td>"
+                        f"<td>{row['total']}</td></tr>"
+                    )
+                parts.append("</table>")
+            parts.append("<h3>Optimizer convergence</h3><table>")
+            parts.append("<tr><th>metric</th><th>value</th></tr>")
+            for label, value in views["convergence"]:
+                parts.append(f"<tr><td>{esc(label)}</td><td>{esc(value)}</td></tr>")
+            for row in views["move_yield"]:
+                parts.append(
+                    f"<tr><td><code>{esc(row['kind'])}</code> moves accepted</td>"
+                    f"<td>{row['accepted']}/{row['candidates']}</td></tr>"
                 )
             parts.append("</table>")
 

@@ -59,10 +59,12 @@ PROTOCOL_VERSION = 1
 
 #: job types the daemon executes.  ``plan``/``sweep``/``lint`` are pure
 #: functions of (system, params) and served from the result cache when
-#: warm; ``profile`` re-measures every time; ``sleep`` is a diagnostic
-#: job (load generation, cancellation/timeout tests) that holds the
-#: runner for ``params.seconds`` with cooperative checkpoints.
-JOB_TYPES = ("plan", "sweep", "profile", "lint", "sleep")
+#: warm; ``profile`` and ``explain`` re-measure every time (``explain``
+#: returns the run's ``repro-attrib`` search-effort artifact); ``sleep``
+#: is a diagnostic job (load generation, cancellation/timeout tests)
+#: that holds the runner for ``params.seconds`` with cooperative
+#: checkpoints.
+JOB_TYPES = ("plan", "sweep", "profile", "lint", "explain", "sleep")
 
 #: ops a client may send (``metrics`` was added within protocol
 #: version 1 -- new ops are backward-compatible: an older server

@@ -429,6 +429,43 @@ def _run_profile(state: WarmState, job: Job) -> Dict[str, Any]:
     }
 
 
+def _run_explain(state: WarmState, job: Job) -> Dict[str, Any]:
+    """A search-effort attribution run (never cached -- a measurement).
+
+    Same counter discipline as :func:`_run_profile`: ``explain_system``
+    resets the shared registry, so the daemon's ``serve.*`` tallies are
+    snapshotted and restored around it.  The result carries the full
+    byte-stable ``repro-attrib`` artifact.
+    """
+    from repro.flow.explain import explain_system
+    from repro.flow.profile import QUICK_MAX_FAULTS
+
+    quick = bool(job.params.get("quick", True))
+    seed = int(job.params.get("seed", 0))
+    top_k = int(job.params.get("top_k", 10))
+    serve_counters = {
+        name: value
+        for name, value in METRICS.counters().items()
+        if name.startswith("serve.")
+    }
+    report = explain_system(
+        job.system,
+        seed=seed,
+        max_faults=QUICK_MAX_FAULTS if quick else None,
+        jobs=state.jobs,
+        top_k=top_k,
+    )
+    for name, value in serve_counters.items():
+        METRICS.counter(name).inc(value)
+    return {
+        "system": job.system,
+        "seed": seed,
+        "quick": quick,
+        "total_seconds": report.total_seconds,
+        "artifact": report.artifact,
+    }
+
+
 def _run_sleep(_state: WarmState, job: Job) -> Dict[str, Any]:
     """Diagnostic job: hold the runner, checkpointing every step."""
     seconds = float(job.params.get("seconds", 0.1))
@@ -444,5 +481,6 @@ _HANDLERS = {
     "plan": _run_plan,
     "lint": _run_lint,
     "profile": _run_profile,
+    "explain": _run_explain,
     "sleep": _run_sleep,
 }

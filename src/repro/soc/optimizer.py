@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import InfeasibleConstraintError
 from repro.obs import METRICS, profile_section
+from repro.obs.attrib import ATTRIB
 from repro.soc.plan import SocTestPlan, plan_soc_test
 from repro.soc.system import Soc
 from repro.transparency.versions import CoreVersion
@@ -186,6 +187,41 @@ class SocetOptimizer:
             return plan.schedule(power_budget=self.power_budget).makespan
         return plan.total_tat
 
+    def _record_move(
+        self,
+        move: Optional[Tuple[str, str, int, int]],
+        before_plan: SocTestPlan,
+        after_plan: Optional[SocTestPlan],
+        outcome: str,
+        forced: Set[Tuple[str, str]],
+    ) -> None:
+        """Log one candidate move to the attribution trajectory.
+
+        Objective values are the side-effect-free serial TAT
+        (``total_tat``) even under ``use_schedule``, so recording never
+        perturbs scheduler counters; ``after_plan`` is ``None`` for
+        candidates rejected before a plan was evaluated.
+        """
+        if not ATTRIB.enabled or move is None:
+            return
+        kind, subject, version_from, version_to = move
+        point = None
+        if after_plan is not None:
+            point = (
+                tuple(sorted(after_plan.selection.items())),
+                tuple(sorted(forced)),
+            )
+        ATTRIB.move_event(
+            kind=kind,
+            subject=subject,
+            version_from=version_from,
+            version_to=version_to,
+            tat_before=before_plan.total_tat,
+            tat_after=None if after_plan is None else after_plan.total_tat,
+            outcome=outcome,
+            point=point,
+        )
+
     # ------------------------------------------------------------------
     # the paper's latency-number heuristic
     # ------------------------------------------------------------------
@@ -268,12 +304,20 @@ class SocetOptimizer:
                 if delta_tat > best_gain:
                     best_core, best_gain = core.name, delta_tat
             candidate_plan = None
+            move: Optional[Tuple[str, str, int, int]] = None
             if best_core is not None:
                 new_selection = dict(plan.selection)
                 new_selection[best_core] += 1
+                move = (
+                    "upgrade", best_core,
+                    plan.selection[best_core] + 1, new_selection[best_core] + 1,
+                )
                 candidate_plan = plan_soc_test(self.soc, new_selection, forced_muxes=forced)
                 if candidate_plan.chip_dft_cells > max_chip_cells:
                     _REJECTED.inc()
+                    self._record_move(
+                        move, plan, candidate_plan, "reject-budget", forced
+                    )
                     logger.debug(
                         "reject upgrade %s: %d cells over budget %d",
                         best_core, candidate_plan.chip_dft_cells, max_chip_cells,
@@ -285,12 +329,21 @@ class SocetOptimizer:
                 if critical is None:
                     break
                 new_forced = forced | {critical}
+                version = plan.selection.get(critical[0], 0) + 1
+                move = ("mux", f"{critical[0]}.{critical[1]}", version, version)
                 mux_plan = plan_soc_test(self.soc, plan.selection, forced_muxes=new_forced)
                 if (
                     mux_plan.chip_dft_cells > max_chip_cells
                     or self._tat(mux_plan) >= self._tat(plan)
                 ):
                     _REJECTED.inc()
+                    self._record_move(
+                        move, plan, mux_plan,
+                        "reject-budget"
+                        if mux_plan.chip_dft_cells > max_chip_cells
+                        else "reject-no-gain",
+                        new_forced,
+                    )
                     break
                 forced = new_forced
                 candidate_plan = mux_plan
@@ -298,9 +351,12 @@ class SocetOptimizer:
                 logger.info("escalate: test mux on %s.%s", *critical)
             if self._tat(candidate_plan) >= self._tat(plan) and candidate_plan.selection == plan.selection:
                 _REJECTED.inc()
+                self._record_move(move, plan, candidate_plan, "reject-no-gain", forced)
                 break
+            previous = plan
             plan = candidate_plan
             _ACCEPTED.inc()
+            self._record_move(move, previous, candidate_plan, "accept", forced)
             logger.debug(
                 "accept move %d: TAT %d, %d cells",
                 step, self._tat(plan), plan.chip_dft_cells,
@@ -333,14 +389,25 @@ class SocetOptimizer:
                 delta_tat, delta_area = gain
                 if delta_tat <= 0:
                     _REJECTED.inc()
+                    version = plan.selection.get(core.name, 0) + 1
+                    self._record_move(
+                        ("upgrade", core.name, version, version + 1),
+                        plan, None, "reject-no-gain", forced,
+                    )
                     continue
                 if best is None or delta_area < best[0]:
                     best = (delta_area, core.name)
             if best is not None:
                 new_selection = dict(plan.selection)
                 new_selection[best[1]] += 1
+                previous = plan
                 plan = plan_soc_test(self.soc, new_selection, forced_muxes=forced)
                 _ACCEPTED.inc()
+                self._record_move(
+                    ("upgrade", best[1],
+                     previous.selection[best[1]] + 1, new_selection[best[1]] + 1),
+                    previous, plan, "accept", forced,
+                )
                 logger.debug(
                     "accept move %d: upgrade %s, TAT %d", step, best[1], self._tat(plan)
                 )
@@ -351,8 +418,14 @@ class SocetOptimizer:
                         f"TAT budget {max_tat_cycles} unreachable; floor is {self._tat(plan)}"
                     )
                 forced = forced | {critical}
+                previous = plan
                 plan = plan_soc_test(self.soc, plan.selection, forced_muxes=forced)
                 _ESCALATIONS.inc()
+                version = previous.selection.get(critical[0], 0) + 1
+                self._record_move(
+                    ("mux", f"{critical[0]}.{critical[1]}", version, version),
+                    previous, plan, "accept", forced,
+                )
                 logger.info("escalate: test mux on %s.%s", *critical)
             trajectory.append(self._point(step, plan))
             step += 1
